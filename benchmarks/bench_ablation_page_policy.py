@@ -1,0 +1,59 @@
+"""Ablation — page policy (open vs close-page).
+
+NVM's tRP=0 makes close-page free in precharge terms, which occasionally
+tempts controller designs toward it.  This ablation shows why the paper
+(and Table 2's FRFCFS) keeps open-page rows: closing after every access
+forfeits row-buffer hits, collapsing streaming performance while barely
+moving random traffic (whose hit rate is near zero anyway).
+"""
+
+from repro.config import baseline_nvm, fgnvm
+from repro.sim.experiment import run_benchmark
+from repro.sim.reporting import series_table
+
+from conftest import publish
+
+BENCHES = ("libquantum", "mcf")
+
+
+def policy_config(close_page):
+    cfg = fgnvm(8, 2)
+    cfg.controller.close_page = close_page
+    cfg.name += "-closed" if close_page else "-open"
+    return cfg
+
+
+def run_sweep(requests):
+    rows = {}
+    for bench in BENCHES:
+        base = run_benchmark(baseline_nvm(), bench, requests)
+        for close_page in (False, True):
+            label = f"{bench}-{'closed' if close_page else 'open'}"
+            run = run_benchmark(policy_config(close_page), bench, requests)
+            rows[label] = {
+                "speedup": run.ipc / base.ipc,
+                "row_hit_rate": run.stats.row_hit_rate,
+                "senses": run.stats.senses,
+            }
+    return rows
+
+
+def bench_page_policy(benchmark, requests, results_dir):
+    rows = benchmark.pedantic(
+        lambda: run_sweep(requests), rounds=1, iterations=1
+    )
+    text = (
+        "Ablation — open vs close-page on FgNVM 8x2\n" + series_table(rows)
+    )
+    publish(results_dir, "ablation_page_policy", text)
+    for bench in BENCHES:
+        closed = rows[f"{bench}-closed"]
+        opened = rows[f"{bench}-open"]
+        assert closed["row_hit_rate"] == 0.0, bench
+        assert opened["speedup"] >= closed["speedup"], bench
+    # Streaming loses far more from closing than random traffic does.
+    stream_loss = (rows["libquantum-open"]["speedup"]
+                   / rows["libquantum-closed"]["speedup"])
+    random_loss = (rows["mcf-open"]["speedup"]
+                   / rows["mcf-closed"]["speedup"])
+    assert stream_loss > random_loss, (stream_loss, random_loss)

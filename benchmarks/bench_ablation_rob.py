@@ -1,0 +1,53 @@
+"""Ablation — CPU window size (ROB entries).
+
+The replay CPU's speedups come from memory-level parallelism exposed by
+the instruction window.  Expected shape: absolute IPC rises with the
+window everywhere, and the FgNVM-over-baseline speedup rises too —
+FgNVM's value is *servicing* MLP, so cores that expose more of it
+benefit more.
+"""
+
+from repro.config import baseline_nvm, fgnvm
+from repro.sim.experiment import run_benchmark
+from repro.sim.reporting import series_table
+
+from conftest import publish
+
+ROB_SIZES = (64, 192, 384)
+BENCH = "mcf"
+
+
+def with_rob(cfg, entries):
+    cfg.cpu.rob_entries = entries
+    cfg.name += f"-rob{entries}"
+    return cfg
+
+
+def run_sweep(requests):
+    rows = {}
+    for entries in ROB_SIZES:
+        base = run_benchmark(
+            with_rob(baseline_nvm(), entries), BENCH, requests
+        )
+        fg = run_benchmark(with_rob(fgnvm(8, 2), entries), BENCH, requests)
+        rows[f"rob-{entries}"] = {
+            "baseline_ipc": base.ipc,
+            "fgnvm_ipc": fg.ipc,
+            "speedup": fg.ipc / base.ipc,
+        }
+    return rows
+
+
+def bench_rob_sweep(benchmark, requests, results_dir):
+    rows = benchmark.pedantic(
+        lambda: run_sweep(requests), rounds=1, iterations=1
+    )
+    text = (
+        f"Ablation — ROB size sweep ({BENCH})\n" + series_table(rows)
+    )
+    publish(results_dir, "ablation_rob", text)
+    ipcs = [rows[f"rob-{n}"]["fgnvm_ipc"] for n in ROB_SIZES]
+    assert ipcs == sorted(ipcs), ipcs  # more window, more MLP, more IPC
+    speedups = [rows[f"rob-{n}"]["speedup"] for n in ROB_SIZES]
+    assert all(s > 1.1 for s in speedups), speedups
+    assert speedups == sorted(speedups), speedups  # MLP amplifies FgNVM

@@ -1,0 +1,69 @@
+"""Ablation — PCM write-pulse latency (tWP).
+
+The paper's motivation for Backgrounded Writes is that NVM write pulses
+are long (150 ns in the Table-2 prototype) and block baseline banks.
+Sweeping tWP exposes two regimes on a write-heavy workload:
+
+* while writes are *hideable* (their aggregate service demand fits in
+  the background), slower writes make Backgrounded Writes more
+  valuable — the FgNVM-over-baseline speedup grows from 75 ns up
+  through the prototype's 150 ns;
+* once writes dominate total bank bandwidth (here by ~600 ns at lbm's
+  47% write share), both architectures become write-throughput-bound
+  and the speedup converges back down.
+
+The peak sitting at/above the prototype's 150 ns point shows the paper
+picked exactly the regime its mechanism pays off in.
+"""
+
+from repro.config import baseline_nvm, fgnvm
+from repro.sim.experiment import run_benchmark
+from repro.sim.reporting import series_table
+
+from conftest import publish
+
+TWP_NS = (75.0, 150.0, 300.0, 600.0)
+BENCH = "lbm"  # the most write-intensive profile
+
+
+def with_twp(cfg, twp_ns):
+    cfg.timing.twp_ns = twp_ns
+    cfg.name += f"-twp{int(twp_ns)}"
+    return cfg
+
+
+def run_sweep(requests):
+    rows = {}
+    for twp_ns in TWP_NS:
+        base = run_benchmark(
+            with_twp(baseline_nvm(), twp_ns), BENCH, requests
+        )
+        fg = run_benchmark(with_twp(fgnvm(8, 2), twp_ns), BENCH, requests)
+        rows[f"tWP={int(twp_ns)}ns"] = {
+            "baseline_ipc": base.ipc,
+            "fgnvm_ipc": fg.ipc,
+            "speedup": fg.ipc / base.ipc,
+            "reads_under_write": fg.stats.reads_under_write,
+        }
+    return rows
+
+
+def bench_write_latency_sweep(benchmark, requests, results_dir):
+    rows = benchmark.pedantic(
+        lambda: run_sweep(requests), rounds=1, iterations=1
+    )
+    text = (
+        f"Ablation — write-pulse latency sweep ({BENCH}, Table-2 "
+        "prototype is tWP=150ns)\n" + series_table(rows)
+    )
+    publish(results_dir, "ablation_write_latency", text)
+    speedups = [rows[f"tWP={int(t)}ns"]["speedup"] for t in TWP_NS]
+    # Hideable regime: slower writes up to the prototype's 150 ns make
+    # Backgrounded Writes more valuable...
+    assert speedups[1] > speedups[0], speedups
+    # ...and the sweep's best point is at or beyond 150 ns (the paper's
+    # operating point), before write bandwidth saturates both designs.
+    assert max(speedups) == max(speedups[1:]), speedups
+    # Baseline IPC must fall monotonically as writes slow down.
+    base_ipcs = [rows[f"tWP={int(t)}ns"]["baseline_ipc"] for t in TWP_NS]
+    assert base_ipcs == sorted(base_ipcs, reverse=True), base_ipcs

@@ -1,0 +1,69 @@
+"""Ablation — write-issue policy (the augmented FRFCFS of Section 6).
+
+Compares, on write-heavy workloads, the three controller write policies:
+
+* ``drain``   — DRAM-era watermark drains only (what the baseline uses),
+* ``eager``   — Backgrounded Writes: issue a write whenever no read can go,
+* ``eager+cap`` — eager plus at most one in-flight write per bank, so a
+  drain can never occupy every column division of a bank.
+
+Expected shape: eager+cap >= eager >= drain on FgNVM (this combination
+is why the fgnvm presets default to it), with reads-under-write rising.
+"""
+
+from repro.config import baseline_nvm, fgnvm
+from repro.sim.experiment import run_benchmark
+from repro.sim.reporting import series_table
+
+from conftest import publish
+
+BENCHES = ("lbm", "milc", "GemsFDTD")
+
+
+def policy_config(policy):
+    cfg = fgnvm(8, 2)
+    if policy == "drain":
+        cfg.controller.eager_writes = False
+        cfg.controller.max_writes_per_bank = None
+    elif policy == "eager":
+        cfg.controller.eager_writes = True
+        cfg.controller.max_writes_per_bank = None
+    else:  # eager+cap — the preset default
+        cfg.controller.eager_writes = True
+        cfg.controller.max_writes_per_bank = 1
+    cfg.name = f"fgnvm-8x2-{policy}"
+    return cfg
+
+
+def run_sweep(requests):
+    rows = {}
+    for bench in BENCHES:
+        base = run_benchmark(baseline_nvm(), bench, requests)
+        for policy in ("drain", "eager", "eager+cap"):
+            run = run_benchmark(policy_config(policy), bench, requests)
+            rows[f"{bench}-{policy}"] = {
+                "speedup": run.ipc / base.ipc,
+                "reads_under_write": run.stats.reads_under_write,
+            }
+    return rows
+
+
+def bench_write_policy(benchmark, requests, results_dir):
+    rows = benchmark.pedantic(
+        lambda: run_sweep(requests), rounds=1, iterations=1
+    )
+    text = (
+        "Ablation — write-issue policy on FgNVM 8x2 "
+        "(write-heavy workloads)\n" + series_table(rows)
+    )
+    publish(results_dir, "ablation_write_policy", text)
+    for bench in BENCHES:
+        drain = rows[f"{bench}-drain"]["speedup"]
+        capped = rows[f"{bench}-eager+cap"]["speedup"]
+        assert capped >= drain * 0.99, (bench, drain, capped)
+    gains = [
+        rows[f"{bench}-eager+cap"]["speedup"]
+        - rows[f"{bench}-drain"]["speedup"]
+        for bench in BENCHES
+    ]
+    assert max(gains) > 0.0, gains

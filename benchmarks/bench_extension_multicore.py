@@ -1,0 +1,54 @@
+"""Extension study — multi-programmed interference (beyond the paper).
+
+The paper evaluates single-threaded SPEC2006; this study runs a 4-core
+mix (mcf + lbm + milc + omnetpp) against one shared memory system and
+compares how each architecture holds up: weighted speedup (shared IPC
+over solo IPC, same architecture) and aggregate throughput.
+
+Expected shape: FgNVM's throughput advantage over the baseline is
+*larger* under contention than single-core (a mix supplies more MLP
+than one ROB can), and the 128-bank design gives the highest raw
+throughput, with FgNVM in between.
+"""
+
+from repro.config import baseline_nvm, fgnvm, many_banks
+from repro.sim.multicore import weighted_speedup_study
+from repro.sim.reporting import series_table
+from repro.workloads.spec_profiles import get_profile
+from repro.workloads.tracegen import generate_trace
+
+from conftest import publish
+
+MIX = ("mcf", "lbm", "milc", "omnetpp")
+
+
+def run_study(requests):
+    traces = [generate_trace(get_profile(b), requests) for b in MIX]
+    rows = {}
+    for label, cfg in (
+        ("baseline", baseline_nvm()),
+        ("fgnvm-8x2", fgnvm(8, 2)),
+        ("128-banks", many_banks(8, 2)),
+    ):
+        rows[label] = weighted_speedup_study(cfg, traces, labels=MIX)
+    return rows
+
+
+def bench_multicore_interference(benchmark, requests, results_dir):
+    per_core = max(200, requests // 2)  # 4 cores: keep total work sane
+    rows = benchmark.pedantic(
+        lambda: run_study(per_core), rounds=1, iterations=1
+    )
+    text = (
+        f"Extension — 4-core mix {MIX} sharing one memory system "
+        f"({per_core} requests/core)\n" + series_table(rows)
+    )
+    publish(results_dir, "extension_multicore", text)
+    base = rows["baseline"]
+    fg = rows["fgnvm-8x2"]
+    mb = rows["128-banks"]
+    # FgNVM tolerates interference better than the baseline...
+    assert fg["weighted_speedup"] > base["weighted_speedup"]
+    assert fg["throughput_ipc"] > base["throughput_ipc"] * 1.2
+    # ...and the fully-independent design bounds raw throughput.
+    assert mb["throughput_ipc"] >= fg["throughput_ipc"] * 0.95

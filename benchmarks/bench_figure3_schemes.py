@@ -1,0 +1,18 @@
+"""Figure 3 — the three access schemes as observed tile occupancy.
+
+Drives a 2x2-tile FgNVM bank through Partial-Activation,
+Multi-Activation and a Backgrounded Write, rendering the occupancy
+timelines and checking each panel's defining property.
+"""
+
+from repro.analysis.figure3 import check_figure3, render_figure3, run_figure3
+
+from conftest import publish
+
+
+def bench_figure3(benchmark, results_dir):
+    scenarios = benchmark.pedantic(run_figure3, rounds=3, iterations=1)
+    text = render_figure3(scenarios)
+    publish(results_dir, "figure3_schemes", text)
+    problems = check_figure3(scenarios)
+    assert problems == [], problems

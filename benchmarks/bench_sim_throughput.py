@@ -1,0 +1,60 @@
+"""Simulator throughput microbenchmarks (pytest-benchmark timings).
+
+Not a paper artifact — these keep the reproduction honest about its own
+cost: requests simulated per second for each architecture, and the
+address-decode hot path.
+"""
+
+from repro.config import baseline_nvm, fgnvm, many_banks
+from repro.memsys.address import AddressMapper
+from repro.sim.simulator import simulate
+from repro.workloads.spec_profiles import get_profile
+from repro.workloads.tracegen import generate_trace
+
+TRACE_LEN = 1500
+
+
+def _run(cfg, trace):
+    return simulate(cfg, trace)
+
+
+def bench_throughput_baseline(benchmark):
+    trace = generate_trace(get_profile("milc"), TRACE_LEN)
+    result = benchmark.pedantic(
+        lambda: _run(baseline_nvm(), trace), rounds=3, iterations=1
+    )
+    assert result.stats.requests == TRACE_LEN
+
+
+def bench_throughput_fgnvm(benchmark):
+    trace = generate_trace(get_profile("milc"), TRACE_LEN)
+    result = benchmark.pedantic(
+        lambda: _run(fgnvm(8, 2), trace), rounds=3, iterations=1
+    )
+    assert result.stats.requests == TRACE_LEN
+
+
+def bench_throughput_many_banks(benchmark):
+    trace = generate_trace(get_profile("milc"), TRACE_LEN)
+    result = benchmark.pedantic(
+        lambda: _run(many_banks(8, 2), trace), rounds=3, iterations=1
+    )
+    assert result.stats.requests == TRACE_LEN
+
+
+def bench_address_decode(benchmark):
+    mapper = AddressMapper(fgnvm(8, 2).org)
+    addresses = [i * 4096 + 64 for i in range(10_000)]
+
+    def decode_all():
+        for address in addresses:
+            mapper.decode(address)
+
+    benchmark(decode_all)
+
+
+def bench_trace_generation(benchmark):
+    profile = get_profile("mcf")
+    benchmark.pedantic(
+        lambda: generate_trace(profile, 20_000), rounds=3, iterations=1
+    )

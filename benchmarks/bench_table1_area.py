@@ -1,0 +1,13 @@
+"""Table 1 — FgNVM area overheads (model vs paper, side by side)."""
+
+from repro.analysis.table1 import check_table1, render_table1, run_table1
+
+from conftest import publish
+
+
+def bench_table1(benchmark, results_dir):
+    result = benchmark.pedantic(run_table1, rounds=3, iterations=1)
+    text = render_table1(result)
+    publish(results_dir, "table1_area", text)
+    problems = check_table1(result)
+    assert problems == [], problems

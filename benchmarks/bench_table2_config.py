@@ -1,0 +1,12 @@
+"""Table 2 — the memory-system setup, read back from the live presets."""
+
+from repro.analysis.table2 import check_table2, render_table2
+
+from conftest import publish
+
+
+def bench_table2(benchmark, results_dir):
+    text = benchmark.pedantic(render_table2, rounds=3, iterations=1)
+    publish(results_dir, "table2_config", text)
+    problems = check_table2()
+    assert problems == [], problems

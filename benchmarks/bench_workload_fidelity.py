@@ -1,0 +1,56 @@
+"""Workload fidelity — measured trace statistics vs profile targets.
+
+DESIGN.md substitutes SPEC2006 SimPoint traces with statistical
+profiles; this bench backs the substitution by characterising every
+generated trace (independently of the generator) and checking it hits
+its published targets: MPKI within 10%, write fraction within 5 points,
+plus the qualitative locality ordering (streamers more row-local than
+pointer chasers).
+"""
+
+from repro.workloads.characterize import characterize, fidelity_report
+from repro.workloads.spec_profiles import PROFILES
+from repro.workloads.tracegen import generate_trace
+from repro.sim.reporting import series_table
+
+from conftest import publish
+
+
+def run_characterisation(requests):
+    rows = {}
+    problems = []
+    for name, profile in PROFILES.items():
+        trace = generate_trace(profile, requests)
+        character = characterize(trace)
+        rows[name] = {
+            "target_mpki": profile.mpki,
+            "mpki": character.mpki,
+            "write_fraction": character.write_fraction,
+            "row_locality": character.row_locality,
+            "bank_spread": character.bank_spread,
+            "burstiness": character.burstiness,
+        }
+        problems.extend(
+            f"{name}: {p}"
+            for p in fidelity_report(
+                character, profile.mpki, profile.write_fraction
+            )
+        )
+    return rows, problems
+
+
+def bench_workload_fidelity(benchmark, requests, results_dir):
+    rows, problems = benchmark.pedantic(
+        lambda: run_characterisation(max(requests, 2000)),
+        rounds=1,
+        iterations=1,
+    )
+    text = (
+        "Workload fidelity — generated traces vs profile targets\n"
+        + series_table(rows)
+    )
+    publish(results_dir, "workload_fidelity", text)
+    assert problems == [], problems
+    # Qualitative ordering: the famous streamer out-localises the
+    # famous pointer chaser.
+    assert rows["libquantum"]["row_locality"] > rows["mcf"]["row_locality"]

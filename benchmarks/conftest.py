@@ -1,0 +1,53 @@
+"""Shared benchmark fixtures.
+
+Every bench regenerates one paper artifact (table or figure), prints the
+same rows/series the paper reports, and archives the rendering under
+``benchmarks/results/`` so EXPERIMENTS.md can cite actual output.
+
+Scale knob: ``REPRO_BENCH_REQUESTS`` (default 2500) sets the trace length
+per (benchmark, architecture) simulation.  The figure *shapes* are stable
+from ~1500 requests upwards; raise it for publication-grade numbers.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.sim.experiment import ExperimentCache
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_requests() -> int:
+    return int(os.environ.get("REPRO_BENCH_REQUESTS", "2500"))
+
+
+@pytest.fixture(scope="session")
+def requests() -> int:
+    return bench_requests()
+
+
+@pytest.fixture(scope="session")
+def cache() -> ExperimentCache:
+    """One simulation cache for the whole bench session.
+
+    Figure 4, Figure 5 and the headline bench share baseline runs, so
+    the expensive simulations happen exactly once each.
+    """
+    return ExperimentCache()
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def publish(results_dir: Path, name: str, text: str) -> None:
+    """Print an artifact and archive it for EXPERIMENTS.md."""
+    print()
+    print(text)
+    (results_dir / f"{name}.txt").write_text(text + "\n", encoding="utf-8")

@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Table 1 on demand, plus the area scaling behind it.
+
+Prints the calibrated 45 nm area model against the paper's published
+numbers, then sweeps the grid to show how each overhead component
+scales with the subdivision (row latches with SAGs, CSL registers with
+CDs x log2(SAGs), enable wiring with SAGs x CDs).
+
+Run:  python examples/area_report.py
+"""
+
+from repro import sim
+from repro.analysis.table1 import render_table1, run_table1
+from repro.core.area import AreaModel
+from repro.units import um2_to_mm2
+
+
+def main() -> None:
+    print(render_table1(run_table1()))
+
+    model = AreaModel()
+    rows = []
+    for sags, cds in ((4, 4), (8, 2), (8, 8), (16, 16), (32, 32)):
+        report = model.report(sags, cds)
+        rows.append([
+            f"{sags}x{cds}",
+            report.row_latches_um2,
+            report.csl_latches_um2,
+            um2_to_mm2(report.lysel_worst_um2),
+            um2_to_mm2(report.total_worst_um2),
+            report.percent_of_bank(worst=True),
+        ])
+    print("\nScaling across subdivisions (worst-case routing):")
+    print(sim.ascii_table(
+        ["grid", "row latch (um^2)", "CSL latch (um^2)",
+         "LY-SEL (mm^2)", "total (mm^2)", "% of bank"],
+        rows,
+    ))
+
+    print("\nRow-decoder splitting (the Table 1 'N/A' rows):")
+    for sags in (8, 32):
+        delta = model.split_decoder_overhead(65536, sags)
+        print(
+            f"  {sags} per-SAG decoders vs one monolithic: "
+            f"{delta:+.1%} transistors"
+        )
+
+
+if __name__ == "__main__":
+    main()

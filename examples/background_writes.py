@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Backgrounded Writes, isolated: read latency under write pressure.
+
+Builds a controlled workload — eight interleaved read streams spread
+across the SAGs of one bank, with a sweepable write fraction — and
+shows how baseline read latency collapses under PCM's 150 ns write
+pulses while FgNVM keeps serving reads from unaffected tiles
+(Section 4, Figure 3(c)).
+
+Run:  python examples/background_writes.py
+"""
+
+from repro import config, sim
+from repro.workloads import multi_stream_kernel
+
+REQUESTS = 2000
+#: Stream spacing: one SAG stride (128 rows x 8KB row span) plus a
+#: 2-line column offset so each stream starts in its own (SAG, CD).
+SPACING = (1 << 20) + 128
+
+
+def run(write_fraction):
+    trace = multi_stream_kernel(
+        REQUESTS, streams=8, gap=3, write_fraction=write_fraction,
+        stream_spacing_bytes=SPACING, seed=11,
+    )
+    baseline_cfg = config.baseline_nvm()
+    baseline_cfg.org.rows_per_bank = 1024
+    fgnvm_cfg = config.fgnvm(8, 8)
+    fgnvm_cfg.org.rows_per_bank = 1024
+    base = sim.simulate(baseline_cfg, trace)
+    fg = sim.simulate(fgnvm_cfg, trace)
+    return base, fg
+
+
+def main() -> None:
+    rows = []
+    for write_fraction in (0.0, 0.2, 0.4):
+        base, fg = run(write_fraction)
+        rows.append([
+            f"{write_fraction:.0%}",
+            base.stats.avg_read_latency,
+            fg.stats.avg_read_latency,
+            fg.ipc / base.ipc,
+            fg.stats.reads_under_write,
+        ])
+        print(f"write fraction {write_fraction:.0%}: done")
+
+    print()
+    print(sim.ascii_table(
+        ["writes", "baseline read lat (cy)", "fgnvm read lat (cy)",
+         "fgnvm speedup", "reads under write"],
+        rows,
+    ))
+    print(
+        "\nThe speedup column grows with write pressure: FgNVM reads "
+        "proceed in tiles the write does not occupy, while every "
+        "baseline read waits out the 150 ns write pulse."
+    )
+
+
+if __name__ == "__main__":
+    main()

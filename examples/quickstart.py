@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate one workload on the baseline and on FgNVM.
+
+Builds the paper's Table-2 memory system twice — once as the baseline
+PCM prototype and once as an 8x2 FgNVM — replays the same synthetic
+`mcf`-like trace on both, and prints the speedup, latency and energy
+comparison.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import config, sim
+from repro.workloads import generate_trace, get_profile
+
+REQUESTS = 3000
+
+
+def main() -> None:
+    profile = get_profile("mcf")
+    trace = generate_trace(profile, REQUESTS)
+    print(
+        f"workload: {profile.name} (MPKI {profile.mpki}, "
+        f"{profile.write_fraction:.0%} writes), {REQUESTS} accesses"
+    )
+
+    baseline_cfg = config.baseline_nvm()
+    fgnvm_cfg = config.fgnvm(8, 2)
+
+    print("\nsimulating baseline ...")
+    baseline = sim.simulate(baseline_cfg, trace)
+    print("simulating FgNVM 8x2 ...")
+    fg = sim.simulate(fgnvm_cfg, trace)
+
+    rows = []
+    for label, result in (("baseline", baseline), ("fgnvm-8x2", fg)):
+        stats = result.stats
+        rows.append([
+            label,
+            result.ipc,
+            stats.row_hit_rate,
+            stats.avg_read_latency,
+            result.energy.total_pj / 1e6,  # uJ
+        ])
+    print()
+    print(sim.ascii_table(
+        ["system", "ipc", "row-hit rate", "avg read lat (cy)",
+         "energy (uJ)"],
+        rows,
+    ))
+
+    print(f"\nspeedup over baseline : {fg.ipc / baseline.ipc:.3f}x")
+    print(
+        "energy vs baseline    : "
+        f"{fg.energy.total_pj / baseline.energy.total_pj:.3f}x"
+    )
+    print(
+        "FgNVM parallel events : "
+        f"{fg.stats.multi_activation_senses} multi-activations, "
+        f"{fg.stats.reads_under_write} reads under a write"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Deep-dive on one run: histograms, utilisation, phases.
+
+Runs one workload on FgNVM with epoch recording enabled and prints the
+detailed run report — read-latency distribution, per-bank tile
+utilisation, data-bus pressure — plus sparkline time series showing how
+IPC, traffic and queue pressure evolve over the run.
+
+Run:  python examples/run_report.py [benchmark] [--requests N]
+"""
+
+import argparse
+
+from repro import config
+from repro.sim.epochs import epoch_table, phase_summary
+from repro.sim.report import full_report
+from repro.sim.simulator import Simulator
+from repro.workloads import benchmark_names, generate_trace, get_profile
+
+EPOCH_CYCLES = 2000
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("benchmark", nargs="?", default="milc",
+                        help=f"one of: {', '.join(benchmark_names())}")
+    parser.add_argument("--requests", type=int, default=4000)
+    args = parser.parse_args()
+
+    cfg = config.fgnvm(8, 2)
+    cfg.sim.epoch_cycles = EPOCH_CYCLES
+    trace = generate_trace(get_profile(args.benchmark), args.requests)
+
+    print(f"simulating {args.benchmark} on {cfg.name} ...")
+    simulator = Simulator(cfg, trace)
+    result = simulator.run()
+
+    print()
+    print(full_report(simulator))
+
+    ratio = cfg.cpu.cpu_cycles_per_mem_cycle(cfg.timing.tck_ns)
+    print(f"\nphase behaviour ({EPOCH_CYCLES}-cycle epochs, one glyph "
+          "per epoch, intensity = magnitude):")
+    for name, line in phase_summary(
+        result.epochs, EPOCH_CYCLES, ratio
+    ).items():
+        print(f"  {name:8s} |{line}|")
+
+    print("\nfirst epochs in numbers:")
+    print(epoch_table(result.epochs[:8], EPOCH_CYCLES, ratio))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""FgNVM: fine-granularity tile-level parallelism in NVM (DAC 2016).
+
+A from-scratch reproduction of Poremba, Zhang & Xie, *"Fine-Granularity
+Tile-Level Parallelism in Non-volatile Memory Architecture with
+Two-Dimensional Bank Subdivision"*, DAC 2016.
+
+Quick start::
+
+    from repro import config, sim
+
+    baseline = config.baseline_nvm()
+    fg = config.fgnvm(8, 2)
+    base = sim.run_benchmark(baseline, "mcf", requests=5000)
+    fast = sim.run_benchmark(fg, "mcf", requests=5000)
+    print("speedup:", fast.ipc / base.ipc)
+
+Package map:
+
+* :mod:`repro.config` — parameters, Table-2 presets, validation,
+* :mod:`repro.memsys` — the NVMain-like substrate (requests, banks,
+  buses, FRFCFS controller),
+* :mod:`repro.core` — the paper's contribution (FgNVM bank, access
+  modes, energy and area models),
+* :mod:`repro.cpu` — ROB-limited trace-replay CPU (the gem5 stand-in),
+* :mod:`repro.workloads` — SPEC2006-like profiles and synthetic kernels,
+* :mod:`repro.sim` — simulation loop, experiment runner, reporting,
+* :mod:`repro.analysis` — regenerators for every paper table and figure.
+"""
+
+from . import analysis, config, core, cpu, memsys, sim, units, workloads
+from .errors import (
+    AddressError,
+    ConfigError,
+    ProtocolError,
+    QueueFullError,
+    ReproError,
+    SchedulerError,
+    SimulationError,
+    TraceFormatError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "analysis",
+    "config",
+    "core",
+    "cpu",
+    "memsys",
+    "sim",
+    "units",
+    "workloads",
+    "AddressError",
+    "ConfigError",
+    "ProtocolError",
+    "QueueFullError",
+    "ReproError",
+    "SchedulerError",
+    "SimulationError",
+    "TraceFormatError",
+    "__version__",
+]

@@ -1,0 +1,50 @@
+"""Regenerators for every table and figure in the paper's evaluation."""
+
+from .calibration import HeadlineResult, render_headline, run_headline
+from .export import figure4_csv, figure5_csv, sweep_csv, table1_csv
+from .figure3 import Scenario, check_figure3, render_figure3, run_figure3
+from .figure4 import (
+    Figure4Result,
+    check_figure4_shape,
+    render_figure4,
+    run_figure4,
+)
+from .figure5 import (
+    Figure5Result,
+    check_figure5_shape,
+    render_figure5,
+    run_figure5,
+)
+from .reproduce import ReproductionManifest, reproduce_all
+from .table1 import Table1Result, check_table1, render_table1, run_table1
+from .table2 import check_table2, render_table2
+
+__all__ = [
+    "HeadlineResult",
+    "render_headline",
+    "run_headline",
+    "figure4_csv",
+    "figure5_csv",
+    "sweep_csv",
+    "table1_csv",
+    "Scenario",
+    "check_figure3",
+    "render_figure3",
+    "run_figure3",
+    "Figure4Result",
+    "check_figure4_shape",
+    "render_figure4",
+    "run_figure4",
+    "Figure5Result",
+    "check_figure5_shape",
+    "render_figure5",
+    "run_figure5",
+    "ReproductionManifest",
+    "reproduce_all",
+    "Table1Result",
+    "check_table1",
+    "render_table1",
+    "run_table1",
+    "check_table2",
+    "render_table2",
+]

@@ -1,0 +1,89 @@
+"""CSV export for the figure/table data (plot with any tool you like).
+
+The reproduction deliberately avoids plotting dependencies; these
+helpers write the exact series behind each artifact as CSV so users can
+regenerate publication graphics with matplotlib/gnuplot/Excel:
+
+* :func:`figure4_csv` — benchmark x series speedups,
+* :func:`figure5_csv` — benchmark x series relative energy,
+* :func:`table1_csv` — component x (model, paper) areas,
+* :func:`sweep_csv` — any :class:`~repro.sim.sweeps.SweepResult`.
+
+All writers accept a path or an open text handle and return the number
+of data rows written.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import List, Mapping, TextIO, Union
+
+from ..sim.sweeps import SweepResult
+from .figure4 import Figure4Result
+from .figure5 import Figure5Result
+from .table1 import PAPER_VALUES, Table1Result
+
+PathOrFile = Union[str, Path, TextIO]
+
+
+def _open(target: PathOrFile):
+    if isinstance(target, (str, Path)):
+        return open(target, "w", newline="", encoding="utf-8"), True
+    return target, False
+
+
+def _write_series(
+    target: PathOrFile,
+    row_label: str,
+    rows: Mapping[str, Mapping[str, float]],
+) -> int:
+    handle, owned = _open(target)
+    try:
+        columns: List[str] = []
+        for values in rows.values():
+            for column in values:
+                if column not in columns:
+                    columns.append(column)
+        writer = csv.writer(handle)
+        writer.writerow([row_label] + columns)
+        count = 0
+        for name, values in rows.items():
+            writer.writerow(
+                [name] + [values.get(column, "") for column in columns]
+            )
+            count += 1
+        return count
+    finally:
+        if owned:
+            handle.close()
+
+
+def figure4_csv(result: Figure4Result, target: PathOrFile) -> int:
+    """Write the Figure-4 speedup series (plus the gmean row)."""
+    return _write_series(target, "benchmark", result.rows())
+
+
+def figure5_csv(result: Figure5Result, target: PathOrFile) -> int:
+    """Write the Figure-5 relative-energy series (plus the average)."""
+    return _write_series(target, "benchmark", result.rows())
+
+
+def table1_csv(result: Table1Result, target: PathOrFile) -> int:
+    """Write Table 1 as component rows with model and paper columns."""
+    measured = result.measured()
+    rows = {
+        key: {
+            "model_avg": model_avg,
+            "paper_avg": PAPER_VALUES[key][0],
+            "model_max": model_max,
+            "paper_max": PAPER_VALUES[key][1],
+        }
+        for key, (model_avg, model_max) in measured.items()
+    }
+    return _write_series(target, "component", rows)
+
+
+def sweep_csv(sweep: SweepResult, target: PathOrFile) -> int:
+    """Write any parameter sweep's rows."""
+    return _write_series(target, "point", sweep.rows())

@@ -1,0 +1,292 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``run`` — simulate one (configuration, workload) pair and print the
+  summary table,
+* ``figure4`` / ``figure5`` / ``table1`` / ``table2`` / ``headline`` —
+  regenerate the paper artifacts,
+* ``trace-gen`` — write a benchmark profile's trace to disk (native or
+  NVMain format),
+* ``list`` — show the available configurations and benchmark profiles.
+
+Every command is a thin shell over the public library API, so anything
+the CLI does can be scripted directly (see ``examples/``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+from . import analysis
+from .config import (
+    SystemConfig,
+    baseline_nvm,
+    fgnvm,
+    fgnvm_multi_issue,
+    fgnvm_per_sag_buffers,
+    many_banks,
+)
+from .sim import (
+    dict_table,
+    parameter_sweep,
+    render_sweep,
+    run_benchmark,
+    run_trace,
+    series_table,
+)
+from .workloads import (
+    benchmark_names,
+    generate_trace,
+    get_profile,
+    read_trace,
+    write_nvmain_trace,
+    write_trace,
+)
+
+#: Named configurations the CLI can instantiate.
+CONFIG_BUILDERS: Dict[str, Callable[[], SystemConfig]] = {
+    "baseline": baseline_nvm,
+    "fgnvm-4x4": lambda: fgnvm(4, 4),
+    "fgnvm-8x2": lambda: fgnvm(8, 2),
+    "fgnvm-8x8": lambda: fgnvm(8, 8),
+    "fgnvm-8x32": lambda: fgnvm(8, 32),
+    "128-banks": lambda: many_banks(8, 2),
+    "multi-issue": lambda: fgnvm_multi_issue(8, 2),
+    "sag-buffers": lambda: fgnvm_per_sag_buffers(8, 2),
+}
+
+
+def build_config(name: str) -> SystemConfig:
+    try:
+        return CONFIG_BUILDERS[name]()
+    except KeyError:
+        known = ", ".join(CONFIG_BUILDERS)
+        raise SystemExit(f"unknown config {name!r}; known: {known}")
+
+
+def _cmd_list(args) -> int:
+    print("configurations:")
+    for name in CONFIG_BUILDERS:
+        print(f"  {name}")
+    print("\nbenchmark profiles (all LLC MPKI >= 10):")
+    for name in benchmark_names():
+        profile = get_profile(name)
+        print(
+            f"  {name:12s} mpki={profile.mpki:<6g} "
+            f"writes={profile.write_fraction:.0%}"
+        )
+    return 0
+
+
+def _cmd_run(args) -> int:
+    config = build_config(args.config)
+    if args.trace:
+        result = run_trace(config, read_trace(args.trace))
+        workload = args.trace
+    else:
+        result = run_benchmark(config, args.benchmark, args.requests)
+        workload = args.benchmark
+    print(f"{config.name} on {workload}:")
+    print(dict_table(result.summary()))
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    rows = {}
+    base = None
+    for name in args.configs:
+        result = run_benchmark(build_config(name), args.benchmark,
+                               args.requests)
+        if base is None:
+            base = result
+        rows[name] = {
+            "ipc": result.ipc,
+            "speedup_vs_first": result.ipc / base.ipc,
+            "hit_rate": result.stats.row_hit_rate,
+            "energy_uj": result.energy.total_pj / 1e6,
+        }
+    print(f"{args.benchmark} across configurations "
+          f"({args.requests} requests):")
+    print(series_table(rows, row_label="config"))
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    sweep = parameter_sweep(
+        build_config(args.config),
+        args.path,
+        [_parse_value(v) for v in args.values],
+        args.benchmark,
+        args.requests,
+    )
+    print(render_sweep(sweep))
+    return 0
+
+
+def _parse_value(token: str):
+    for caster in (int, float):
+        try:
+            return caster(token)
+        except ValueError:
+            continue
+    if token.lower() in ("true", "false"):
+        return token.lower() == "true"
+    return token
+
+
+def _cmd_figure4(args) -> int:
+    result = analysis.run_figure4(args.benchmarks or None, args.requests)
+    print(analysis.render_figure4(result))
+    problems = analysis.check_figure4_shape(result)
+    for problem in problems:
+        print(f"SHAPE VIOLATION: {problem}", file=sys.stderr)
+    return 1 if problems else 0
+
+
+def _cmd_figure5(args) -> int:
+    result = analysis.run_figure5(args.benchmarks or None, args.requests)
+    print(analysis.render_figure5(result))
+    problems = analysis.check_figure5_shape(result)
+    for problem in problems:
+        print(f"SHAPE VIOLATION: {problem}", file=sys.stderr)
+    return 1 if problems else 0
+
+
+def _cmd_figure3(args) -> int:
+    scenarios = analysis.run_figure3()
+    print(analysis.render_figure3(scenarios))
+    problems = analysis.check_figure3(scenarios)
+    for problem in problems:
+        print(f"SHAPE VIOLATION: {problem}", file=sys.stderr)
+    return 1 if problems else 0
+
+
+def _cmd_table1(args) -> int:
+    result = analysis.run_table1()
+    print(analysis.render_table1(result))
+    problems = analysis.check_table1(result)
+    for problem in problems:
+        print(f"MISMATCH: {problem}", file=sys.stderr)
+    return 1 if problems else 0
+
+
+def _cmd_table2(args) -> int:
+    print(analysis.render_table2())
+    problems = analysis.check_table2()
+    for problem in problems:
+        print(f"MISMATCH: {problem}", file=sys.stderr)
+    return 1 if problems else 0
+
+
+def _cmd_headline(args) -> int:
+    result = analysis.run_headline(args.requests, args.benchmarks or None)
+    print(analysis.render_headline(result))
+    return 0
+
+
+def _cmd_reproduce(args) -> int:
+    manifest = analysis.reproduce_all(
+        args.out, args.requests, args.benchmarks or None
+    )
+    print(manifest.render())
+    return 0 if manifest.clean else 1
+
+
+def _cmd_trace_gen(args) -> int:
+    profile = get_profile(args.profile)
+    records = generate_trace(profile, args.count)
+    if args.format == "nvmain":
+        written = write_nvmain_trace(records, args.output)
+    else:
+        written = write_trace(records, args.output)
+    print(f"wrote {written} records to {args.output} ({args.format})")
+    return 0
+
+
+def make_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="FgNVM (DAC 2016) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="show configs and benchmark profiles")
+
+    run_p = sub.add_parser("run", help="simulate one config + workload")
+    run_p.add_argument("--config", default="fgnvm-8x2",
+                       choices=sorted(CONFIG_BUILDERS))
+    run_p.add_argument("--benchmark", default="mcf")
+    run_p.add_argument("--requests", type=int, default=5000)
+    run_p.add_argument("--trace", help="replay a native trace file instead")
+
+    for name in ("figure4", "figure5"):
+        fig_p = sub.add_parser(name, help=f"regenerate {name}")
+        fig_p.add_argument("--benchmarks", nargs="*", default=[])
+        fig_p.add_argument("--requests", type=int, default=2500)
+
+    cmp_p = sub.add_parser("compare", help="one benchmark, many configs")
+    cmp_p.add_argument("--configs", nargs="+",
+                       default=["baseline", "fgnvm-8x2", "128-banks"],
+                       choices=sorted(CONFIG_BUILDERS))
+    cmp_p.add_argument("--benchmark", default="mcf")
+    cmp_p.add_argument("--requests", type=int, default=3000)
+
+    sweep_p = sub.add_parser("sweep", help="sweep one config knob")
+    sweep_p.add_argument("--config", default="fgnvm-8x2",
+                         choices=sorted(CONFIG_BUILDERS))
+    sweep_p.add_argument("--path", required=True,
+                         help="dotted config path, e.g. org.column_divisions")
+    sweep_p.add_argument("--values", nargs="+", required=True)
+    sweep_p.add_argument("--benchmark", default="mcf")
+    sweep_p.add_argument("--requests", type=int, default=2000)
+
+    sub.add_parser("figure3", help="access-scheme timelines (Figure 3)")
+    sub.add_parser("table1", help="regenerate Table 1 (area)")
+    sub.add_parser("table2", help="regenerate Table 2 (setup)")
+
+    head_p = sub.add_parser("headline", help="Section 7 claims")
+    head_p.add_argument("--benchmarks", nargs="*", default=[])
+    head_p.add_argument("--requests", type=int, default=2500)
+
+    rep_p = sub.add_parser(
+        "reproduce", help="regenerate every artifact into a directory"
+    )
+    rep_p.add_argument("--out", default="reproduction")
+    rep_p.add_argument("--requests", type=int, default=2500)
+    rep_p.add_argument("--benchmarks", nargs="*", default=[])
+
+    gen_p = sub.add_parser("trace-gen", help="write a profile trace")
+    gen_p.add_argument("--profile", default="mcf")
+    gen_p.add_argument("--count", type=int, default=10_000)
+    gen_p.add_argument("--output", required=True)
+    gen_p.add_argument("--format", choices=("native", "nvmain"),
+                       default="native")
+    return parser
+
+
+_HANDLERS = {
+    "list": _cmd_list,
+    "run": _cmd_run,
+    "compare": _cmd_compare,
+    "sweep": _cmd_sweep,
+    "figure3": _cmd_figure3,
+    "figure4": _cmd_figure4,
+    "figure5": _cmd_figure5,
+    "table1": _cmd_table1,
+    "table2": _cmd_table2,
+    "headline": _cmd_headline,
+    "reproduce": _cmd_reproduce,
+    "trace-gen": _cmd_trace_gen,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = make_parser().parse_args(argv)
+    return _HANDLERS[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,54 @@
+"""Configuration layer: parameter dataclasses, presets, validation."""
+
+from .params import (
+    BankArchitecture,
+    ControllerParams,
+    CpuParams,
+    EnergyParams,
+    OrgParams,
+    SchedulerKind,
+    SimParams,
+    SystemConfig,
+    TimingCycles,
+    TimingParams,
+    override_nested,
+)
+from .presets import (
+    all_presets,
+    baseline_nvm,
+    fgnvm,
+    fgnvm_multi_issue,
+    fgnvm_per_sag_buffers,
+    figure4_configs,
+    figure5_configs,
+    many_banks,
+    table2_controller,
+    table2_timing,
+)
+from .validate import validate_config, validation_errors
+
+__all__ = [
+    "BankArchitecture",
+    "ControllerParams",
+    "CpuParams",
+    "EnergyParams",
+    "OrgParams",
+    "SchedulerKind",
+    "SimParams",
+    "SystemConfig",
+    "TimingCycles",
+    "TimingParams",
+    "override_nested",
+    "all_presets",
+    "baseline_nvm",
+    "fgnvm",
+    "fgnvm_multi_issue",
+    "fgnvm_per_sag_buffers",
+    "figure4_configs",
+    "figure5_configs",
+    "many_banks",
+    "table2_controller",
+    "table2_timing",
+    "validate_config",
+    "validation_errors",
+]

@@ -1,0 +1,374 @@
+"""Configuration dataclasses for the memory system, CPU model and simulator.
+
+Every knob the paper's evaluation exercises is represented here:
+
+* :class:`TimingParams` — the PCM timings of Table 2,
+* :class:`EnergyParams` — the per-bit energies of Section 6,
+* :class:`OrgParams` — channel/rank/bank geometry plus the FgNVM
+  subdivision (subarray groups x column divisions),
+* :class:`CpuParams` — the Nehalem-like trace CPU,
+* :class:`SystemConfig` — the bundle handed to the simulator.
+
+Configs are plain frozen-ish dataclasses (mutable for convenience in sweeps,
+validated by :func:`repro.config.validate.validate_config` before use).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from .. import units
+from ..errors import ConfigError
+
+
+class BankArchitecture(enum.Enum):
+    """Which bank model a configuration instantiates.
+
+    * ``BASELINE`` — state-of-the-art NVM bank (Section 3.1): one open row
+      per bank, whole row sensed, writes block the bank.
+    * ``FGNVM`` — the paper's contribution (Section 3.2): 2-D subdivided
+      bank with tile-level parallelism.
+    * ``MANY_BANKS`` — the "128 Banks" comparison point of Figure 4: the
+      baseline bank model replicated so each (SAG, CD)-sized unit is a
+      fully independent bank (upper bound free of CD/SAG conflicts).
+    """
+
+    BASELINE = "baseline"
+    FGNVM = "fgnvm"
+    MANY_BANKS = "many_banks"
+
+
+class SchedulerKind(enum.Enum):
+    """Memory-controller scheduling policies implemented in this repo."""
+
+    FCFS = "fcfs"
+    FRFCFS = "frfcfs"
+    #: FRFCFS augmented so multiple commands may issue in the same cycle
+    #: and multiple data bursts may overlap (the paper's "Multi-Issue").
+    FRFCFS_MULTI_ISSUE = "frfcfs_multi_issue"
+
+
+@dataclass
+class TimingParams:
+    """Device timing parameters (Table 2), in nanoseconds or cycles.
+
+    Parameters given in cycles in the paper (tCCD, tBURST) are stored in
+    cycles; everything else is nanoseconds and converted through
+    :meth:`cycles`.
+    """
+
+    tck_ns: float = units.DEFAULT_TCK_NS
+    trcd_ns: float = 25.0  #: ACT to first column command.
+    tcas_ns: float = 95.0  #: Column command to data (includes PCM sense).
+    tras_ns: float = 0.0  #: Non-destructive read: no restore window.
+    trp_ns: float = 0.0  #: No precharge needed for NVM cells.
+    tccd_cycles: int = 4  #: Column-to-column spacing for buffered hits.
+    tburst_cycles: int = 4  #: Data-bus occupancy per 64B transfer.
+    tcwd_ns: float = 7.5  #: Write command to data.
+    twp_ns: float = 150.0  #: PCM write pulse.
+    twr_ns: float = 7.5  #: Write recovery.
+    #: Column command to data for a *buffered* hit (data already latched in
+    #: the row buffer).  Table 2's tCAS=95ns is the PCM current-sense time
+    #: paid on first touch; once latched, a hit is a DRAM-speed column read.
+    #: This split is a documented modelling assumption (DESIGN.md §3).
+    tcas_hit_ns: float = 15.0
+
+    def cycles(self) -> "TimingCycles":
+        """Resolve every parameter to integer memory cycles."""
+        return TimingCycles(
+            trcd=units.ns_to_cycles(self.trcd_ns, self.tck_ns),
+            tcas=units.ns_to_cycles(self.tcas_ns, self.tck_ns),
+            tcas_hit=units.ns_to_cycles(self.tcas_hit_ns, self.tck_ns),
+            tras=units.ns_to_cycles(self.tras_ns, self.tck_ns),
+            trp=units.ns_to_cycles(self.trp_ns, self.tck_ns),
+            tccd=int(self.tccd_cycles),
+            tburst=int(self.tburst_cycles),
+            tcwd=units.ns_to_cycles(self.tcwd_ns, self.tck_ns),
+            twp=units.ns_to_cycles(self.twp_ns, self.tck_ns),
+            twr=units.ns_to_cycles(self.twr_ns, self.tck_ns),
+        )
+
+
+@dataclass(frozen=True)
+class TimingCycles:
+    """Timing parameters resolved to integer memory cycles."""
+
+    trcd: int
+    tcas: int
+    tcas_hit: int
+    tras: int
+    trp: int
+    tccd: int
+    tburst: int
+    tcwd: int
+    twp: int
+    twr: int
+
+    @property
+    def read_miss_latency(self) -> int:
+        """Cycles from ACT issue to data for a row-miss read."""
+        return self.trcd + self.tcas + self.tburst
+
+    @property
+    def write_occupancy(self) -> int:
+        """Cycles a write keeps its target busy (command to recovery)."""
+        return self.tcwd + self.twp + self.twr
+
+
+@dataclass
+class EnergyParams:
+    """Per-bit energies from Section 6 of the paper.
+
+    * read sense: 2 pJ/bit,
+    * write: 16 pJ/bit, with 64 write drivers (64 bits written in
+      parallel regardless of array dimensions),
+    * background: 0.08 pJ/bit of memory, charged per
+      :attr:`background_epoch_ns` of wall-clock simulated time.
+
+    The background epoch is the one free constant the paper does not give;
+    it is calibrated (see DESIGN.md) so the background share of baseline
+    energy matches the residual implied by Figure 5's averages.
+    """
+
+    read_pj_per_bit: float = 2.0
+    write_pj_per_bit: float = 16.0
+    background_pj_per_bit: float = 0.08
+    #: How often the per-bit background charge accrues.
+    background_epoch_ns: float = 100_000.0
+    #: Bits of memory the background charge applies to (one bank's cells;
+    #: the figures are per-bank normalised, so one bank is the unit).
+    background_bits: int = 8 * units.KIB * units.BITS_PER_BYTE * 128
+
+    def background_pj_per_ns(self) -> float:
+        """Background power expressed as pJ per simulated nanosecond."""
+        if self.background_epoch_ns <= 0:
+            raise ConfigError("background_epoch_ns must be positive")
+        return self.background_pj_per_bit * self.background_bits / self.background_epoch_ns
+
+
+@dataclass
+class OrgParams:
+    """Memory organisation: hierarchy geometry and FgNVM subdivision."""
+
+    channels: int = 1
+    ranks_per_channel: int = 1
+    banks_per_rank: int = 8
+    rows_per_bank: int = 32768
+    #: Bytes in one device row made visible to the controller.  The paper's
+    #: rank aggregates 8 devices each with a 512B row buffer; the controller
+    #: sees a 1KB-per-bank logical row for energy accounting (Figure 5's
+    #: "1KB of data must be sensed" baseline).
+    row_size_bytes: int = 1024
+    cacheline_bytes: int = 64
+    #: FgNVM subdivision: subarray groups (row axis) x column divisions
+    #: (column axis).  Ignored for BASELINE; for MANY_BANKS the product
+    #: decides how many independent banks replace each FgNVM bank.
+    subarray_groups: int = 4
+    column_divisions: int = 4
+    architecture: BankArchitecture = BankArchitecture.FGNVM
+    #: Extension (beyond the paper): give every SAG its own row-buffer
+    #: slice per CD (MASA-style), instead of one global row buffer whose
+    #: CD slices are shared by all SAGs.  Raises hit rates at a latch
+    #: area cost quantified by AreaModel.per_sag_buffer_um2().
+    per_sag_row_buffers: bool = False
+    #: Data-placement ablations (Section 3.2 discusses the layout):
+    #: ``cd_interleaved`` rotates consecutive cache lines across CDs
+    #: (the baseline NVM's interleaving the paper replaces with
+    #: cache-line-per-tile grouping); ``sag_interleaved`` rotates
+    #: consecutive rows across SAGs instead of contiguous blocks.
+    cd_interleaved: bool = False
+    sag_interleaved: bool = False
+
+    @property
+    def columns_per_row(self) -> int:
+        """Cache lines per row."""
+        return self.row_size_bytes // self.cacheline_bytes
+
+    @property
+    def rows_per_sag(self) -> int:
+        """Rows mapped to each subarray group."""
+        return self.rows_per_bank // self.subarray_groups
+
+    @property
+    def columns_per_cd(self) -> int:
+        """Cache lines per column division (1 when a line spans CDs)."""
+        return max(1, self.columns_per_row // self.column_divisions)
+
+    @property
+    def cd_span(self) -> int:
+        """Column divisions one cache line spans.
+
+        Normally 1; greater when the subdivision is finer than a cache
+        line (the paper's 8x32 over a 1KB row gives 32B CDs, so a 64B
+        line spans 2 CDs and one access activates both).
+        """
+        return max(1, self.column_divisions // self.columns_per_row)
+
+    @property
+    def bytes_per_cd(self) -> int:
+        """Row-buffer slice bytes owned by one column division."""
+        return self.row_size_bytes // self.column_divisions
+
+    @property
+    def total_banks(self) -> int:
+        """Independent bank count across the system."""
+        return self.channels * self.ranks_per_channel * self.banks_per_rank
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Total addressable capacity."""
+        return self.total_banks * self.rows_per_bank * self.row_size_bytes
+
+
+@dataclass
+class ControllerParams:
+    """Memory-controller queueing and scheduling parameters (Table 2)."""
+
+    scheduler: SchedulerKind = SchedulerKind.FRFCFS
+    read_queue_entries: int = 32  #: "32 queue entries".
+    write_queue_entries: int = 64  #: "64 write drivers".
+    #: Write-drain watermarks: switch to write mode at/above high, switch
+    #: back below low (standard NVMain-style drain policy).
+    write_high_watermark: int = 48
+    write_low_watermark: int = 16
+    #: Commands issuable per cycle (1 normally; >1 for Multi-Issue).
+    issue_width: int = 1
+    #: Parallel data bursts supported (1 normally; >1 for Multi-Issue's
+    #: "multiple data may be returned via larger data bus").
+    data_bus_width: int = 1
+    #: FgNVM-aware write throttle (part of the augmented FRFCFS of
+    #: Section 6): cap concurrent writes per bank so some column
+    #: divisions stay free for reads.  None disables the cap.
+    max_writes_per_bank: "int | None" = None
+    #: Backgrounded-Writes issue policy: when True, writes are issued in
+    #: any cycle where no read is issuable, even below the drain
+    #: watermark — the write proceeds in the background of its tile while
+    #: reads keep flowing to the rest of the bank.  When False (the
+    #: DRAM-era policy the baseline uses), writes wait for watermark
+    #: drains or an empty read queue.
+    eager_writes: bool = False
+    #: Page policy: open-page (False, the default — rows and buffer tags
+    #: persist for row hits) or close-page (True — the wordline drops and
+    #: the buffer invalidates after every access; free to do with tRP=0,
+    #: but it forfeits all row-buffer hits).
+    close_page: bool = False
+
+
+@dataclass
+class CpuParams:
+    """Trace-replay CPU model (Nehalem-like, per the paper's Section 6)."""
+
+    clock_ghz: float = units.DEFAULT_CPU_CLOCK_GHZ
+    rob_entries: int = 192
+    retire_width: int = 4
+    mshr_entries: int = 32
+
+    def cpu_cycles_per_mem_cycle(self, tck_ns: float) -> float:
+        """CPU cycles elapsing per memory cycle (8 for 3.2GHz @ 2.5ns)."""
+        return self.clock_ghz * tck_ns
+
+
+@dataclass
+class SimParams:
+    """Simulation driver limits and bookkeeping knobs."""
+
+    max_cycles: int = 500_000_000
+    #: Abort if no forward progress for this many cycles (deadlock guard).
+    deadlock_cycles: int = 2_000_000
+    #: Exclude the first N requests from statistics (queues and row
+    #: buffers warm up, then counters reset).
+    warmup_requests: int = 0
+    #: Snapshot counters every N memory cycles into a time series
+    #: (None disables; see repro.sim.epochs).
+    epoch_cycles: "int | None" = None
+
+
+@dataclass
+class SystemConfig:
+    """Top-level bundle: everything needed to build and run one system."""
+
+    name: str = "fgnvm-4x4"
+    timing: TimingParams = field(default_factory=TimingParams)
+    energy: EnergyParams = field(default_factory=EnergyParams)
+    org: OrgParams = field(default_factory=OrgParams)
+    controller: ControllerParams = field(default_factory=ControllerParams)
+    cpu: CpuParams = field(default_factory=CpuParams)
+    sim: SimParams = field(default_factory=SimParams)
+
+    def copy(self, **overrides) -> "SystemConfig":
+        """Deep-copy this config, applying top-level field overrides.
+
+        ``overrides`` keys must be SystemConfig field names; nested
+        structures are replaced wholesale when supplied.
+        """
+        dup = dataclasses.replace(
+            self,
+            timing=dataclasses.replace(self.timing),
+            energy=dataclasses.replace(self.energy),
+            org=dataclasses.replace(self.org),
+            controller=dataclasses.replace(self.controller),
+            cpu=dataclasses.replace(self.cpu),
+            sim=dataclasses.replace(self.sim),
+        )
+        for key, value in overrides.items():
+            if not hasattr(dup, key):
+                raise ConfigError(f"unknown SystemConfig field: {key}")
+            setattr(dup, key, value)
+        return dup
+
+    def describe(self) -> Dict[str, str]:
+        """Human-readable summary used by reporting and Table 2 output."""
+        cyc = self.timing.cycles()
+        return {
+            "name": self.name,
+            "architecture": self.org.architecture.value,
+            "geometry": (
+                f"{self.org.channels}ch x {self.org.ranks_per_channel}rk x "
+                f"{self.org.banks_per_rank}bk"
+            ),
+            "subdivision": (
+                f"{self.org.subarray_groups} SAGs x "
+                f"{self.org.column_divisions} CDs"
+            ),
+            "row_buffer": f"{self.org.row_size_bytes}B",
+            "scheduler": self.controller.scheduler.value,
+            "queues": (
+                f"{self.controller.read_queue_entries} read / "
+                f"{self.controller.write_queue_entries} write drivers"
+            ),
+            "timings": (
+                f"tRCD={cyc.trcd}cy tCAS={cyc.tcas}cy tCCD={cyc.tccd}cy "
+                f"tBURST={cyc.tburst}cy tCWD={cyc.tcwd}cy tWP={cyc.twp}cy "
+                f"tWR={cyc.twr}cy @ tCK={self.timing.tck_ns}ns"
+            ),
+        }
+
+
+def override_nested(config: SystemConfig, path: str, value) -> SystemConfig:
+    """Return a copy of ``config`` with a dotted-path field replaced.
+
+    >>> cfg = SystemConfig()
+    >>> cfg2 = override_nested(cfg, "org.column_divisions", 8)
+    >>> cfg2.org.column_divisions
+    8
+    >>> cfg.org.column_divisions
+    4
+    """
+    dup = config.copy()
+    parts = path.split(".")
+    target = dup
+    for part in parts[:-1]:
+        if not hasattr(target, part):
+            raise ConfigError(f"unknown config path: {path}")
+        target = getattr(target, part)
+    if not hasattr(target, parts[-1]):
+        raise ConfigError(f"unknown config path: {path}")
+    setattr(target, parts[-1], value)
+    return dup
+
+
+#: Convenience alias used in sweeps.
+ConfigOverrides = Optional[Dict[str, object]]

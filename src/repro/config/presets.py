@@ -1,0 +1,220 @@
+"""Preset configurations matching the paper's evaluation (Section 6).
+
+The presets mirror Table 2 plus the comparison points of Figures 4 and 5:
+
+* :func:`baseline_nvm` — state-of-the-art PCM bank (no subdivision),
+* :func:`fgnvm` — FgNVM with N subarray groups x M column divisions,
+* :func:`many_banks` — the "128 Banks" design: every (SAG, CD)-sized unit
+  becomes a fully independent bank,
+* :func:`fgnvm_multi_issue` — FgNVM plus the multi-issue controller,
+* :func:`figure4_configs` / :func:`figure5_configs` — the exact config
+  sets each figure sweeps.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .params import (
+    BankArchitecture,
+    ControllerParams,
+    CpuParams,
+    EnergyParams,
+    OrgParams,
+    SchedulerKind,
+    SimParams,
+    SystemConfig,
+    TimingParams,
+)
+from .validate import validate_config
+
+
+def table2_timing() -> TimingParams:
+    """PCM timings exactly as listed in Table 2 of the paper."""
+    return TimingParams(
+        trcd_ns=25.0,
+        tcas_ns=95.0,
+        tras_ns=0.0,
+        trp_ns=0.0,
+        tccd_cycles=4,
+        tburst_cycles=4,
+        tcwd_ns=7.5,
+        twp_ns=150.0,
+        twr_ns=7.5,
+    )
+
+
+def table2_controller() -> ControllerParams:
+    """FRFCFS with 32 queue entries and 64 write drivers (Table 2)."""
+    return ControllerParams(
+        scheduler=SchedulerKind.FRFCFS,
+        read_queue_entries=32,
+        write_queue_entries=64,
+        write_high_watermark=48,
+        write_low_watermark=16,
+        issue_width=1,
+        data_bus_width=1,
+    )
+
+
+def _base_org() -> OrgParams:
+    """Shared geometry: 1 channel, 1 rank, 8 banks, 1KB logical rows.
+
+    Rows-per-bank is kept modest (8K) so synthetic SimPoint-scale traces
+    exercise realistic row-conflict rates without making the address space
+    astronomically sparse.  Capacity scaling does not change any of the
+    paper's comparisons, which are per-bank-architecture.
+    """
+    return OrgParams(
+        channels=1,
+        ranks_per_channel=1,
+        banks_per_rank=8,
+        rows_per_bank=8192,
+        row_size_bytes=1024,
+        cacheline_bytes=64,
+        subarray_groups=4,
+        column_divisions=4,
+        architecture=BankArchitecture.FGNVM,
+    )
+
+
+def baseline_nvm() -> SystemConfig:
+    """The paper's baseline: prototype-like PCM bank, no subdivision."""
+    org = _base_org()
+    org.architecture = BankArchitecture.BASELINE
+    org.subarray_groups = 1
+    org.column_divisions = 1
+    cfg = SystemConfig(
+        name="baseline-nvm",
+        timing=table2_timing(),
+        energy=EnergyParams(),
+        org=org,
+        controller=table2_controller(),
+        cpu=CpuParams(),
+        sim=SimParams(),
+    )
+    return validate_config(cfg)
+
+
+def fgnvm(subarray_groups: int = 4, column_divisions: int = 4) -> SystemConfig:
+    """FgNVM with an ``NxM`` (SAGs x CDs) subdivision (Table 2 default 4x4).
+
+    Figure 4 reports 8x2 designs; Figure 5 sweeps 8x2 / 8x8 / 8x32.
+
+    The controller runs the paper's *augmented FRFCFS*: writes issue
+    eagerly into the background of their tile whenever no read is
+    issuable (Backgrounded Writes), capped at one in-flight write per
+    bank so column divisions stay available for reads.
+    """
+    org = _base_org()
+    org.architecture = BankArchitecture.FGNVM
+    org.subarray_groups = subarray_groups
+    org.column_divisions = column_divisions
+    controller = table2_controller()
+    controller.eager_writes = True
+    controller.max_writes_per_bank = 1
+    cfg = SystemConfig(
+        name=f"fgnvm-{subarray_groups}x{column_divisions}",
+        timing=table2_timing(),
+        energy=EnergyParams(),
+        org=org,
+        controller=controller,
+        cpu=CpuParams(),
+        sim=SimParams(),
+    )
+    return validate_config(cfg)
+
+
+def many_banks(subarray_groups: int = 8, column_divisions: int = 2) -> SystemConfig:
+    """The "128 Banks" comparison: independent banks, one per (SAG, CD).
+
+    With 8 physical banks per rank and an ``NxM`` reference subdivision,
+    the rank exposes ``8 * N * M`` independent banks, each sized like one
+    (SAG, CD) pair — 128 for the paper's 8x2 reference.  All banks share
+    one command bus and one data bus, exactly like the FgNVM rank.
+    """
+    org = _base_org()
+    org.architecture = BankArchitecture.MANY_BANKS
+    org.subarray_groups = subarray_groups
+    org.column_divisions = column_divisions
+    n_banks = org.banks_per_rank * subarray_groups * column_divisions
+    cfg = SystemConfig(
+        name=f"many-banks-{n_banks}",
+        timing=table2_timing(),
+        energy=EnergyParams(),
+        org=org,
+        controller=table2_controller(),
+        cpu=CpuParams(),
+        sim=SimParams(),
+    )
+    return validate_config(cfg)
+
+
+def fgnvm_multi_issue(
+    subarray_groups: int = 8,
+    column_divisions: int = 2,
+    issue_width: int = 4,
+    data_bus_width: int = 4,
+) -> SystemConfig:
+    """FgNVM plus the augmented controller of Figure 4's "Multi-Issue" bars.
+
+    Multiple memory commands may issue in the same cycle and multiple data
+    bursts may be in flight on a wider data bus.
+    """
+    cfg = fgnvm(subarray_groups, column_divisions)
+    cfg.name = f"fgnvm-{subarray_groups}x{column_divisions}-multi-issue"
+    cfg.controller.scheduler = SchedulerKind.FRFCFS_MULTI_ISSUE
+    cfg.controller.issue_width = issue_width
+    cfg.controller.data_bus_width = data_bus_width
+    return validate_config(cfg)
+
+
+def fgnvm_per_sag_buffers(
+    subarray_groups: int = 8, column_divisions: int = 2
+) -> SystemConfig:
+    """Extension beyond the paper: FgNVM with per-SAG row buffers.
+
+    Every subarray group keeps its own latched slice per column division
+    (MASA-style), so opening a row in one SAG no longer evicts another
+    SAG's buffered data from the shared row buffer.  The latch-area cost
+    is quantified by ``AreaModel.per_sag_buffer_um2`` — this preset
+    exists to measure what that area would buy.
+    """
+    cfg = fgnvm(subarray_groups, column_divisions)
+    cfg.name = f"fgnvm-{subarray_groups}x{column_divisions}-sagbuf"
+    cfg.org.per_sag_row_buffers = True
+    return validate_config(cfg)
+
+
+def figure4_configs() -> Dict[str, SystemConfig]:
+    """The four systems Figure 4 compares (all 8x2 FgNVM designs)."""
+    return {
+        "baseline": baseline_nvm(),
+        "fgnvm": fgnvm(8, 2),
+        "128-banks": many_banks(8, 2),
+        "fgnvm-multi-issue": fgnvm_multi_issue(8, 2),
+    }
+
+
+def figure5_configs() -> Dict[str, SystemConfig]:
+    """The energy-sweep systems of Figure 5 (8x2, 8x8, 8x32 + baseline).
+
+    The "8x32 Perfect" series reuses the 8x32 timing run with the perfect
+    energy accounting mode (exactly one cache line sensed per read and no
+    underfetch charge) — see :mod:`repro.core.energy`.
+    """
+    return {
+        "baseline": baseline_nvm(),
+        "8x2": fgnvm(8, 2),
+        "8x8": fgnvm(8, 8),
+        "8x32": fgnvm(8, 32),
+    }
+
+
+def all_presets() -> List[SystemConfig]:
+    """Every named preset, for exhaustive validation tests."""
+    presets = [baseline_nvm(), many_banks(), fgnvm_multi_issue(),
+               fgnvm_per_sag_buffers()]
+    for sags, cds in ((4, 4), (8, 2), (8, 8), (8, 32), (32, 32)):
+        presets.append(fgnvm(sags, cds))
+    return presets

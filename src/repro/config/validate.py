@@ -1,0 +1,125 @@
+"""Configuration validation.
+
+A configuration is checked once, up front, so the simulator core can assume
+consistent geometry (powers of two, divisibility of rows/columns by the
+subdivision factors, sane watermarks) without re-checking on the hot path.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .. import units
+from ..errors import ConfigError
+from .params import BankArchitecture, SchedulerKind, SystemConfig
+
+
+def validation_errors(config: SystemConfig) -> List[str]:
+    """Collect every problem with ``config`` (empty list means valid)."""
+    problems: List[str] = []
+    org = config.org
+    ctrl = config.controller
+
+    for label, value in (
+        ("channels", org.channels),
+        ("ranks_per_channel", org.ranks_per_channel),
+        ("banks_per_rank", org.banks_per_rank),
+        ("rows_per_bank", org.rows_per_bank),
+        ("row_size_bytes", org.row_size_bytes),
+        ("cacheline_bytes", org.cacheline_bytes),
+        ("subarray_groups", org.subarray_groups),
+        ("column_divisions", org.column_divisions),
+    ):
+        if not units.is_power_of_two(value):
+            problems.append(f"org.{label} must be a power of two, got {value}")
+
+    if org.row_size_bytes % org.cacheline_bytes != 0:
+        problems.append(
+            f"row_size_bytes ({org.row_size_bytes}) must be a multiple of "
+            f"cacheline_bytes ({org.cacheline_bytes})"
+        )
+    elif org.row_size_bytes % org.column_divisions != 0:
+        problems.append(
+            f"column_divisions ({org.column_divisions}) must divide "
+            f"row_size_bytes ({org.row_size_bytes})"
+        )
+    elif (org.architecture is BankArchitecture.MANY_BANKS
+            and org.column_divisions > org.columns_per_row):
+        problems.append(
+            "MANY_BANKS requires whole cache lines per unit "
+            f"(column_divisions {org.column_divisions} > cache lines per "
+            f"row {org.columns_per_row})"
+        )
+    if org.cd_interleaved and org.column_divisions > org.columns_per_row:
+        problems.append(
+            "cd_interleaved requires whole cache lines per CD "
+            f"(column_divisions {org.column_divisions} > cache lines per "
+            f"row {org.columns_per_row})"
+        )
+    if org.rows_per_bank < org.subarray_groups:
+        problems.append(
+            f"subarray_groups ({org.subarray_groups}) exceeds rows per bank "
+            f"({org.rows_per_bank})"
+        )
+
+    if ctrl.read_queue_entries <= 0:
+        problems.append("controller.read_queue_entries must be positive")
+    if ctrl.write_queue_entries <= 0:
+        problems.append("controller.write_queue_entries must be positive")
+    if not (0 < ctrl.write_low_watermark < ctrl.write_high_watermark
+            <= ctrl.write_queue_entries):
+        problems.append(
+            "write watermarks must satisfy 0 < low < high <= entries, got "
+            f"low={ctrl.write_low_watermark} high={ctrl.write_high_watermark} "
+            f"entries={ctrl.write_queue_entries}"
+        )
+    if ctrl.issue_width < 1:
+        problems.append("controller.issue_width must be >= 1")
+    if ctrl.data_bus_width < 1:
+        problems.append("controller.data_bus_width must be >= 1")
+    if (ctrl.scheduler is not SchedulerKind.FRFCFS_MULTI_ISSUE
+            and (ctrl.issue_width > 1 or ctrl.data_bus_width > 1)):
+        problems.append(
+            "issue_width/data_bus_width > 1 require the multi-issue scheduler"
+        )
+
+    if config.timing.tck_ns <= 0:
+        problems.append("timing.tck_ns must be positive")
+    else:
+        try:
+            config.timing.cycles()
+        except ConfigError as exc:
+            problems.append(str(exc))
+
+    if config.cpu.rob_entries <= 0:
+        problems.append("cpu.rob_entries must be positive")
+    if config.cpu.retire_width <= 0:
+        problems.append("cpu.retire_width must be positive")
+    if config.cpu.mshr_entries <= 0:
+        problems.append("cpu.mshr_entries must be positive")
+
+    if config.sim.max_cycles <= 0:
+        problems.append("sim.max_cycles must be positive")
+    if config.sim.deadlock_cycles <= 0:
+        problems.append("sim.deadlock_cycles must be positive")
+
+    if (org.architecture is BankArchitecture.MANY_BANKS
+            and org.subarray_groups * org.column_divisions <= 1):
+        problems.append(
+            "MANY_BANKS needs subarray_groups * column_divisions > 1 to "
+            "define the replacement bank count"
+        )
+    return problems
+
+
+def validate_config(config: SystemConfig) -> SystemConfig:
+    """Raise :class:`ConfigError` on the first set of problems found.
+
+    Returns the config unchanged for call-chaining convenience.
+    """
+    problems = validation_errors(config)
+    if problems:
+        raise ConfigError(
+            f"invalid config '{config.name}': " + "; ".join(problems)
+        )
+    return config

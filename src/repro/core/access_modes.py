@@ -1,0 +1,151 @@
+"""Tile-level access-mode legality rules (paper Section 4).
+
+These are the pure decision functions behind FgNVM's three access modes:
+
+* **Partial-Activation** — an activation senses only the column divisions
+  (CDs) a request needs.
+* **Multi-Activation** — two sense operations may overlap iff they are in
+  different subarray groups (SAGs) *and* different CDs: a SAG can only
+  drive one wordline, and a CD's I/O lines carry one tile's data.
+* **Backgrounded Writes** — a write occupies its (SAG, CD) exactly like a
+  sense (just for longer); anything that would be legal concurrently with
+  a sense there is legal concurrently with the write.
+
+Keeping the rules as standalone functions makes them directly
+property-testable (symmetry, irreflexivity over distinct tiles, the
+31x31-of-32x32 availability claim) and lets the bank model and the
+scheduler share one source of truth.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+#: A tile coordinate: (subarray group, column division).
+TileCoord = Tuple[int, int]
+
+
+def tiles_conflict(a: TileCoord, b: TileCoord) -> bool:
+    """True when concurrent operations on tiles ``a`` and ``b`` are illegal.
+
+    Two operations conflict when they share a SAG (one wordline per SAG)
+    or share a CD (one set of I/O lines per CD).  An operation trivially
+    conflicts with another on the same tile.
+
+    >>> tiles_conflict((0, 0), (1, 1))
+    False
+    >>> tiles_conflict((0, 0), (0, 1))
+    True
+    >>> tiles_conflict((0, 0), (1, 0))
+    True
+    """
+    sag_a, cd_a = a
+    sag_b, cd_b = b
+    return sag_a == sag_b or cd_a == cd_b
+
+
+def multi_activation_legal(tiles: Sequence[TileCoord]) -> bool:
+    """True when all ``tiles`` may be sensed simultaneously.
+
+    Legal exactly when all SAGs are distinct and all CDs are distinct —
+    the set of tiles forms a partial permutation matrix over the bank's
+    SAG x CD grid.
+    """
+    sags = [sag for sag, _ in tiles]
+    cds = [cd for _, cd in tiles]
+    return len(set(sags)) == len(sags) and len(set(cds)) == len(cds)
+
+
+def max_parallel_accesses(subarray_groups: int, column_divisions: int) -> int:
+    """Maximum simultaneously active tiles in an N x M bank.
+
+    Bounded by the shorter grid axis: each active tile consumes one SAG
+    and one CD.
+    """
+    return min(subarray_groups, column_divisions)
+
+
+def available_tiles_during(
+    busy: Iterable[TileCoord],
+    subarray_groups: int,
+    column_divisions: int,
+) -> List[TileCoord]:
+    """Tiles still accessible while the ``busy`` tiles are occupied.
+
+    Reproduces the paper's availability argument: during a backgrounded
+    write in one tile of a 32x32 bank, the remaining 31x31 tiles stay
+    readable (~93.8% of the bank's data).
+
+    >>> avail = available_tiles_during([(0, 0)], 32, 32)
+    >>> len(avail)
+    961
+    """
+    busy_sags = {sag for sag, _ in busy}
+    busy_cds = {cd for _, cd in busy}
+    return [
+        (sag, cd)
+        for sag in range(subarray_groups)
+        for cd in range(column_divisions)
+        if sag not in busy_sags and cd not in busy_cds
+    ]
+
+
+def accessible_fraction_during_write(
+    subarray_groups: int, column_divisions: int
+) -> float:
+    """Fraction of bank data readable during one backgrounded write.
+
+    >>> round(accessible_fraction_during_write(32, 32), 3)
+    0.938
+    """
+    total = subarray_groups * column_divisions
+    free = (subarray_groups - 1) * (column_divisions - 1)
+    return free / total
+
+
+def partial_activation_sensed_bytes(
+    row_size_bytes: int, column_divisions: int
+) -> int:
+    """Bytes sensed by one partial activation (one CD slice of a row).
+
+    Matches Figure 5's accounting: 1KB baseline row -> 512B at 2 CDs,
+    128B at 8 CDs, 32B at 32 CDs.
+
+    >>> partial_activation_sensed_bytes(1024, 1)
+    1024
+    >>> partial_activation_sensed_bytes(1024, 32)
+    32
+    """
+    if column_divisions <= 0:
+        raise ValueError("column_divisions must be positive")
+    if row_size_bytes % column_divisions:
+        raise ValueError(
+            f"row of {row_size_bytes}B not divisible into "
+            f"{column_divisions} CDs"
+        )
+    return row_size_bytes // column_divisions
+
+
+def classify_read(
+    open_row: "int | None",
+    buffered_tag: "tuple[int, int] | None",
+    sag: int,
+    row: int,
+) -> str:
+    """Classify a read against per-SAG/per-CD state.
+
+    Returns one of the service-kind labels from
+    :mod:`repro.memsys.request`:
+
+    * ``row_hit`` — the CD slice of this exact (sag, row) is latched in
+      the row buffer; no sensing needed.
+    * ``underfetch`` — the wordline for ``row`` is already up in its SAG
+      but this CD slice was never sensed (the cost of Partial-Activation
+      the paper names "underfetch").
+    * ``row_miss`` — a fresh activation plus sense is required.
+    """
+    if buffered_tag is not None and buffered_tag == (sag, row):
+        return "row_hit"
+    if open_row is not None and open_row == row:
+        return "underfetch"
+    return "row_miss"

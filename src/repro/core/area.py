@@ -1,0 +1,239 @@
+"""Area-overhead model for FgNVM (paper Section 5.1, Table 1).
+
+Table 1 reports four components, with "Avg" = an 8x8 FgNVM and "Max" =
+a 32x32 FgNVM:
+
+=============  ============  ============
+Component      Avg overhead  Max overhead
+=============  ============  ============
+Row decoder    N/A           N/A
+Row latches    2,325 um^2    9,333 um^2
+CSL latches    636.3 um^2    4,242 um^2
+LY-SEL lines   0 um^2        0.1 mm^2
+Total          2,961 um^2    0.11 mm^2
+               (<0.1%)       (0.36%)
+=============  ============  ============
+
+Scaling laws implemented here, with constants calibrated to the table's
+two anchor points (the paper synthesised the latches with TSMC 45nm LP;
+we back out the per-bit areas):
+
+* **Row decoder** — a two-stage decoder grows ~N log N in transistors;
+  splitting it into per-SAG decoders of N/SAGs rows each changes the
+  total only marginally, which is why the paper reports N/A.  We expose
+  the transistor model so the claim is checkable.
+* **Row latches** — one row-address latch per SAG:
+  ``SAGs x row_bits x a_latch``.  Table 1's 4.01x ratio between 8 and
+  32 SAGs confirms pure SAG-linearity.
+* **CSL latches** — one SAG-select register per column division, wide
+  enough to name a SAG: ``CDs x log2(SAGs) x a_csl``.  Table 1's ratio
+  4242/636.3 = 20/3 matches (32*5)/(8*3) exactly.
+* **LY-SEL enable lines** — one enable wire per (SAG, CD), at a 0.24um
+  metal-3 pitch, stretched over the 4mm bank: best case they route over
+  the tiles with the global I/O lines (zero overhead); worst case a
+  fraction cannot (calibrated to land Table 1's 0.1 mm^2).
+
+Percentages are relative to the modelled bank area of the 8Gb PCM
+prototype the paper builds on [Choi et al., ISSCC'12].
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from ..units import is_power_of_two, log2_exact, mm2_to_um2, um2_to_mm2
+
+#: Row-address bits latched per SAG in the reference device.
+DEFAULT_ROW_ADDRESS_BITS = 16
+#: Calibrated TSMC-45nm-LP latch area per row-address bit (um^2):
+#: Table 1 row latches = SAGs * 16 bits * this = 2325 um^2 at 8 SAGs.
+ROW_LATCH_UM2_PER_BIT = 2325.0 / (8 * DEFAULT_ROW_ADDRESS_BITS)
+#: Calibrated area per CSL-register bit (um^2): Table 1 CSL latches =
+#: CDs * log2(SAGs) * this = 636.3 um^2 at 8x8.
+CSL_LATCH_UM2_PER_BIT = 636.3 / (8 * 3)
+#: Metal-3 enable-wire pitch (um): 1024 wires -> the paper's 246um bus.
+WIRE_PITCH_UM = 0.24
+#: Bank length the enables stretch over (mm), from the prototype.
+BANK_LENGTH_MM = 4.0
+#: Fraction of enable wiring that fits over the tiles with the global
+#: I/O lines (no area cost); the remainder needs dedicated tracks.
+#: Calibrated so the 32x32 worst case lands at Table 1's 0.1 mm^2.
+OVER_TILE_FRACTION = 0.9
+#: Reference bank area (mm^2) for the percentage rows, calibrated from
+#: 0.11 mm^2 == 0.36%.
+REFERENCE_BANK_AREA_MM2 = 31.1
+
+
+@dataclass(frozen=True)
+class AreaReport:
+    """Area overheads of one FgNVM configuration, in um^2."""
+
+    subarray_groups: int
+    column_divisions: int
+    row_latches_um2: float
+    csl_latches_um2: float
+    lysel_best_um2: float
+    lysel_worst_um2: float
+
+    @property
+    def total_best_um2(self) -> float:
+        """Total with enables routed over tiles (Table 1's Avg column)."""
+        return (
+            self.row_latches_um2 + self.csl_latches_um2 + self.lysel_best_um2
+        )
+
+    @property
+    def total_worst_um2(self) -> float:
+        """Total with dedicated enable tracks (Table 1's Max column)."""
+        return (
+            self.row_latches_um2 + self.csl_latches_um2 + self.lysel_worst_um2
+        )
+
+    def percent_of_bank(self, worst: bool = False,
+                        bank_area_mm2: float = REFERENCE_BANK_AREA_MM2
+                        ) -> float:
+        total = self.total_worst_um2 if worst else self.total_best_um2
+        return 100.0 * um2_to_mm2(total) / bank_area_mm2
+
+
+class AreaModel:
+    """Parameterised Table-1 area model."""
+
+    def __init__(
+        self,
+        row_address_bits: int = DEFAULT_ROW_ADDRESS_BITS,
+        row_latch_um2_per_bit: float = ROW_LATCH_UM2_PER_BIT,
+        csl_latch_um2_per_bit: float = CSL_LATCH_UM2_PER_BIT,
+        wire_pitch_um: float = WIRE_PITCH_UM,
+        bank_length_mm: float = BANK_LENGTH_MM,
+        over_tile_fraction: float = OVER_TILE_FRACTION,
+    ):
+        if row_address_bits < 1:
+            raise ValueError("row_address_bits must be >= 1")
+        if not 0.0 <= over_tile_fraction <= 1.0:
+            raise ValueError("over_tile_fraction must be in [0, 1]")
+        self.row_address_bits = row_address_bits
+        self.row_latch_um2_per_bit = row_latch_um2_per_bit
+        self.csl_latch_um2_per_bit = csl_latch_um2_per_bit
+        self.wire_pitch_um = wire_pitch_um
+        self.bank_length_mm = bank_length_mm
+        self.over_tile_fraction = over_tile_fraction
+
+    # -- components ---------------------------------------------------------
+
+    def row_latches_um2(self, subarray_groups: int) -> float:
+        """Per-SAG row-address latches (SALP-style)."""
+        return (
+            subarray_groups
+            * self.row_address_bits
+            * self.row_latch_um2_per_bit
+        )
+
+    def csl_latches_um2(self, subarray_groups: int,
+                        column_divisions: int) -> float:
+        """Per-CD SAG-select registers driving the LY-SEL enables."""
+        if not is_power_of_two(subarray_groups):
+            raise ValueError("subarray_groups must be a power of two")
+        select_bits = max(1, log2_exact(subarray_groups))
+        return column_divisions * select_bits * self.csl_latch_um2_per_bit
+
+    def enable_bus_width_um(self, subarray_groups: int,
+                            column_divisions: int) -> float:
+        """Width of the one-hot LY-SEL enable bus (one wire per tile).
+
+        32x32 reproduces the paper's 246um figure.
+        """
+        return subarray_groups * column_divisions * self.wire_pitch_um
+
+    def lysel_wires_um2(self, subarray_groups: int, column_divisions: int,
+                        worst: bool = True) -> float:
+        """Enable-wire area: zero when routed over tiles (best case)."""
+        if not worst:
+            return 0.0
+        width_um = self.enable_bus_width_um(
+            subarray_groups, column_divisions
+        )
+        length_um = self.bank_length_mm * 1000.0
+        return width_um * length_um * (1.0 - self.over_tile_fraction)
+
+    def per_sag_buffer_um2(self, subarray_groups: int,
+                           row_size_bytes: int = 1024,
+                           latch_um2_per_bit: float = 0.35) -> float:
+        """Extension cost: dedicated row-buffer latches per SAG.
+
+        The MASA-style ``per_sag_row_buffers`` extension (beyond the
+        paper) needs ``SAGs - 1`` extra full-row latch sets (the global
+        S/A already provides one).  At a compact S/A-embedded latch of
+        ~0.35 um^2/bit this is orders of magnitude above Table 1's
+        register overheads — quantifying why the paper shares one global
+        row buffer.
+        """
+        if subarray_groups < 1:
+            raise ValueError("subarray_groups must be >= 1")
+        extra_sets = subarray_groups - 1
+        bits = row_size_bytes * 8
+        return extra_sets * bits * latch_um2_per_bit
+
+    # -- row decoder sanity model ----------------------------------------------
+
+    @staticmethod
+    def decoder_transistors(rows: int) -> int:
+        """Transistor estimate for a two-stage row decoder of ``rows``.
+
+        Following the textbook construction [Rabaey]: two predecoders
+        over half the address bits each, plus ``rows`` second-stage
+        2-input NAND+driver cells.  Grows O(N log N) through the
+        predecode wiring/fan-in term.
+        """
+        if not is_power_of_two(rows):
+            raise ValueError("rows must be a power of two")
+        bits = log2_exact(rows)
+        if bits == 0:
+            return 4
+        half = bits // 2
+        other = bits - half
+        predecode = (2 ** half) * 2 * half + (2 ** other) * 2 * other
+        second_stage = rows * (4 + bits // 2)
+        return predecode + second_stage
+
+    def split_decoder_overhead(self, rows: int, subarray_groups: int
+                               ) -> float:
+        """Relative transistor change from per-SAG decoders.
+
+        Returns (split - monolithic) / monolithic; the paper reports this
+        as N/A because it is negligible (and often slightly negative,
+        since each split decoder decodes fewer bits).
+        """
+        monolithic = self.decoder_transistors(rows)
+        per_sag = self.decoder_transistors(
+            max(2, rows // subarray_groups)
+        )
+        return (subarray_groups * per_sag - monolithic) / monolithic
+
+    # -- reports -----------------------------------------------------------------
+
+    def report(self, subarray_groups: int, column_divisions: int
+               ) -> AreaReport:
+        """Full Table-1-style report for one configuration."""
+        return AreaReport(
+            subarray_groups=subarray_groups,
+            column_divisions=column_divisions,
+            row_latches_um2=self.row_latches_um2(subarray_groups),
+            csl_latches_um2=self.csl_latches_um2(
+                subarray_groups, column_divisions
+            ),
+            lysel_best_um2=self.lysel_wires_um2(
+                subarray_groups, column_divisions, worst=False
+            ),
+            lysel_worst_um2=self.lysel_wires_um2(
+                subarray_groups, column_divisions, worst=True
+            ),
+        )
+
+
+def table1_reports() -> "tuple[AreaReport, AreaReport]":
+    """The paper's (Avg = 8x8, Max = 32x32) report pair."""
+    model = AreaModel()
+    return model.report(8, 8), model.report(32, 32)

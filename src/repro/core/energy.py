@@ -1,0 +1,104 @@
+"""Memory energy model (paper Section 6, Figure 5).
+
+Accounting rules straight from the paper:
+
+* a read sense costs **2 pJ/bit** over the bits actually latched — the
+  full row for the baseline ("we assume the entire row buffer is sensed
+  during an activation"), one CD slice for FgNVM (1KB baseline vs 512B
+  for 8x2, 128B for 8x8, 32B for 8x32),
+* a write costs **16 pJ/bit** over the 64 data bits driven in parallel
+  per slot — independent of the array subdivision, which is why writes
+  put a floor under the achievable savings,
+* background power averages **0.08 pJ/bit** of memory, accrued over
+  simulated wall-clock time.
+
+The bank models already count sensed bits per event
+(:attr:`~repro.memsys.stats.StatsCollector.sense_bits`), so the model
+here only has to integrate and normalise.  The "Perfect" series of
+Figure 5 re-prices the same run as if exactly one cache line were sensed
+per read with no underfetch re-sensing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config.params import EnergyParams, SystemConfig
+from ..memsys.stats import StatsCollector
+from ..units import BITS_PER_BYTE, cycles_to_ns
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Energy totals for one simulation, in picojoules."""
+
+    read_pj: float
+    write_pj: float
+    background_pj: float
+
+    @property
+    def total_pj(self) -> float:
+        return self.read_pj + self.write_pj + self.background_pj
+
+    def relative_to(self, baseline: "EnergyBreakdown") -> float:
+        """This run's energy normalised to a baseline run (Figure 5's y-axis)."""
+        if baseline.total_pj <= 0:
+            raise ValueError("baseline energy must be positive")
+        return self.total_pj / baseline.total_pj
+
+    def as_dict(self) -> dict:
+        return {
+            "read_pj": round(self.read_pj, 1),
+            "write_pj": round(self.write_pj, 1),
+            "background_pj": round(self.background_pj, 1),
+            "total_pj": round(self.total_pj, 1),
+        }
+
+
+class EnergyModel:
+    """Prices a finished simulation's stats under the paper's rules."""
+
+    def __init__(self, params: EnergyParams, tck_ns: float):
+        self.params = params
+        self.tck_ns = tck_ns
+
+    def measure(self, stats: StatsCollector) -> EnergyBreakdown:
+        """Energy of a run, using the per-event sensed-bit counts."""
+        elapsed_ns = cycles_to_ns(stats.cycles, self.tck_ns)
+        return EnergyBreakdown(
+            read_pj=stats.sense_bits * self.params.read_pj_per_bit,
+            write_pj=stats.write_bits * self.params.write_pj_per_bit,
+            background_pj=elapsed_ns * self.params.background_pj_per_ns(),
+        )
+
+    def measure_perfect(
+        self, stats: StatsCollector, cacheline_bytes: int = 64
+    ) -> EnergyBreakdown:
+        """Figure 5's "Perfect" pricing: one cache line sensed per demand
+        miss and nothing else.
+
+        Underfetch re-senses and write-activation sensing are priced out;
+        writes and background are unchanged — which is exactly why
+        Perfect does not reach zero and why the real 8x32 sits just
+        above it (its only excess is re-sensing).
+        """
+        elapsed_ns = cycles_to_ns(stats.cycles, self.tck_ns)
+        demand_bits = stats.row_misses * cacheline_bytes * BITS_PER_BYTE
+        return EnergyBreakdown(
+            read_pj=demand_bits * self.params.read_pj_per_bit,
+            write_pj=stats.write_bits * self.params.write_pj_per_bit,
+            background_pj=elapsed_ns * self.params.background_pj_per_ns(),
+        )
+
+
+def measure_energy(config: SystemConfig, stats: StatsCollector
+                   ) -> EnergyBreakdown:
+    """Convenience wrapper used by the experiment runner."""
+    return EnergyModel(config.energy, config.timing.tck_ns).measure(stats)
+
+
+def measure_perfect_energy(config: SystemConfig, stats: StatsCollector
+                           ) -> EnergyBreakdown:
+    """Perfect-pricing wrapper (Figure 5's "8x32 Perfect" series)."""
+    model = EnergyModel(config.energy, config.timing.tck_ns)
+    return model.measure_perfect(stats, config.org.cacheline_bytes)

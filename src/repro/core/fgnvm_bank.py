@@ -1,0 +1,382 @@
+"""The FgNVM bank model: a 2-D subdivided NVM bank (paper Section 3.2).
+
+State held per bank:
+
+* ``open_row[sag]`` — the row whose wordline each subarray group's local
+  decoder + row latch currently holds (SALP-style per-SAG row latches),
+  along with when that wordline became stable (``row_ready[sag]``),
+* ``buffer_tag[cd]`` — which (sag, row) pair's data each column
+  division's slice of the global row buffer currently latches,
+* a :class:`~repro.core.tile.TileGrid` tracking when each SAG wordline
+  engine and each CD's I/O lines free up.
+
+The three access modes fall out of the resource rules:
+
+* **Partial-Activation** — a sense occupies exactly one (SAG, CD) and
+  latches only that CD slice (``sense_bits`` = row/CDs).
+* **Multi-Activation** — senses overlap when their CDs differ and
+  either their SAGs differ or they target the *same open row* of one
+  SAG (one wordline can feed several CDs).  The paper's constraints —
+  no two concurrent senses in one CD, no two *rows* live in one SAG —
+  are enforced by the CD occupancy and the exclusive SAG row-change
+  rule respectively.
+* **Backgrounded Writes** — a write occupies its (SAG, CD) for the full
+  write pulse and makes its SAG unavailable; reads elsewhere in the
+  bank proceed underneath it.
+
+The **baseline** NVM bank of Section 3.1 is exactly the 1x1 instance:
+one SAG means one open row per bank, one CD means the whole row is
+sensed at first touch and a write blocks everything — see
+:class:`repro.memsys.bank_baseline.BaselineNvmBank`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..config.params import TimingCycles
+from ..errors import ProtocolError
+from ..memsys.request import (
+    SERVICE_ROW_HIT,
+    SERVICE_ROW_MISS,
+    SERVICE_UNDERFETCH,
+    SERVICE_WRITE,
+    SERVICE_WRITE_MISS,
+    MemRequest,
+)
+from ..memsys.stats import StatsCollector
+from ..units import BITS_PER_BYTE
+from .tile import KIND_SENSE, KIND_WRITE, TileGrid
+
+
+@dataclass(frozen=True)
+class IssueResult:
+    """Outcome of issuing one request to a bank.
+
+    ``bus_desired_start`` is when the data transfer would like the data
+    bus (the controller may push it later under contention) and
+    ``data_ready`` is the completion cycle *before* bus arbitration.
+    """
+
+    kind: str
+    bus_desired_start: int
+    data_ready: int
+    occupies_until: int
+
+
+class FgNvmBank:
+    """Timing/state model of one FgNVM bank."""
+
+    def __init__(
+        self,
+        bank_id: int,
+        subarray_groups: int,
+        column_divisions: int,
+        timing: TimingCycles,
+        sense_bits: int,
+        write_bits: int,
+        stats: StatsCollector,
+        cd_span: int = 1,
+        sense_on_write_activate: bool = False,
+        per_sag_buffers: bool = False,
+        event_log: "list | None" = None,
+        close_page: bool = False,
+    ):
+        self.bank_id = bank_id
+        self.subarray_groups = subarray_groups
+        self.column_divisions = column_divisions
+        #: Column divisions one cache line spans (>1 when the grid is
+        #: finer than a cache line, e.g. 32 CDs over a 16-line row).
+        self.cd_span = cd_span
+        self.timing = timing
+        #: Bits latched by one sense: one CD slice of one row.
+        self.sense_bits = sense_bits
+        #: Bits driven by one cache-line write (64 write drivers x bursts).
+        self.write_bits = write_bits
+        #: Every activation senses whatever the CSLs select before the
+        #: write drivers take over: the whole row on a baseline-protocol
+        #: bank (``sense_on_write_activate``), just the written line's CD
+        #: slice(s) on FgNVM (Partial-Activation applies to writes too).
+        self.sense_on_write_activate = sense_on_write_activate
+        self.stats = stats
+        #: MASA-style extension: every SAG keeps its own latched slice
+        #: per CD instead of sharing one global row buffer.
+        self.per_sag_buffers = per_sag_buffers
+        self.grid = TileGrid(subarray_groups, column_divisions)
+        self.open_row: List[Optional[int]] = [None] * subarray_groups
+        #: Cycle each SAG's current wordline became usable by other CDs.
+        self.row_ready: List[int] = [0] * subarray_groups
+        self.buffer_tag: List[Optional[Tuple[int, int]]] = (
+            [None] * column_divisions
+        )
+        self._sag_buffer: List[List[Optional[int]]] = [
+            [None] * column_divisions for _ in range(subarray_groups)
+        ]
+        #: Optional occupancy trace: (start, end, sag, cd, service kind)
+        #: tuples appended per issued operation.  None disables logging
+        #: (the default; the timeline tools switch it on).
+        self.event_log = event_log
+        #: Close-page policy: drop the wordline and invalidate the
+        #: touched buffer slices after every access.
+        self.close_page = close_page
+        #: Last cycle a column command was accepted (tCCD spacing).
+        self._last_column = -(10**9)
+
+    # -- row-buffer tags -----------------------------------------------------
+
+    def _buffered(self, sag: int, cd: int, row: int) -> bool:
+        """Is (sag, row)'s slice for this CD latched and readable?"""
+        if self.per_sag_buffers:
+            return self._sag_buffer[sag][cd] == row
+        return self.buffer_tag[cd] == (sag, row)
+
+    def _latch(self, sag: int, cd: int, row: int) -> None:
+        if self.per_sag_buffers:
+            self._sag_buffer[sag][cd] = row
+        self.buffer_tag[cd] = (sag, row)
+
+    # -- classification ----------------------------------------------------
+
+    def classify(self, req: MemRequest) -> str:
+        """Service kind this request would get if issued now."""
+        dec = req.decoded
+        sag, cds = self._coords(dec)
+        if req.is_write:
+            if self.open_row[sag] == dec.row:
+                return SERVICE_WRITE
+            return SERVICE_WRITE_MISS
+        if all(self._buffered(sag, c, dec.row) for c in cds):
+            return SERVICE_ROW_HIT
+        if self.open_row[sag] == dec.row:
+            return SERVICE_UNDERFETCH
+        return SERVICE_ROW_MISS
+
+    def is_row_hit(self, req: MemRequest) -> bool:
+        """FRFCFS "first-ready" test: can this request skip sensing?"""
+        kind = self.classify(req)
+        return kind in (SERVICE_ROW_HIT, SERVICE_WRITE)
+
+    # -- scheduling queries --------------------------------------------------
+
+    def earliest_start(self, req: MemRequest, now: int) -> int:
+        """Earliest cycle this request's first command could issue.
+
+        Constraint sets per service kind (plus the tCCD column gate for
+        every kind):
+
+        * buffered hit — CD I/O free (data comes from the row buffer,
+          but the paper prohibits touching a CD that is being driven),
+        * same-row sense ("underfetch") — CD free, no write in the SAG,
+          and the wordline stable (``row_ready``),
+        * row change (miss) and writes — CD free and SAG exclusively
+          free: one wordline per SAG, and a write parks the whole SAG.
+        """
+        dec = req.decoded
+        sag, cds = self._coords(dec)
+        start = now
+        column_gate = self._last_column + self.timing.tccd
+        if column_gate > start:
+            start = column_gate
+        for cd in cds:
+            cd_free = self.grid.cd_free_at(cd)
+            if cd_free > start:
+                start = cd_free
+        kind = self.classify(req)
+        if kind == SERVICE_ROW_HIT:
+            return start
+        if kind == SERVICE_UNDERFETCH:
+            write_free = self.grid.sag_write_free_at(sag)
+            if write_free > start:
+                start = write_free
+            if self.row_ready[sag] > start:
+                start = self.row_ready[sag]
+            return start
+        sag_free = self.grid.sag_free_at(sag)
+        if sag_free > start:
+            start = sag_free
+        return start
+
+    # -- issue ---------------------------------------------------------------
+
+    def issue(self, req: MemRequest, now: int) -> IssueResult:
+        """Commit the request at cycle ``now`` and advance bank state.
+
+        Raises :class:`ProtocolError` if the request is not actually
+        issuable at ``now`` — the controller must respect
+        :meth:`earliest_start`.
+        """
+        result = self._issue(req, now)
+        if self.close_page:
+            sag, cds = self._coords(req.decoded)
+            self.open_row[sag] = None
+            for cd in cds:
+                self.buffer_tag[cd] = None
+                if self.per_sag_buffers:
+                    self._sag_buffer[sag][cd] = None
+        return result
+
+    def _issue(self, req: MemRequest, now: int) -> IssueResult:
+        earliest = self.earliest_start(req, now)
+        if earliest > now:
+            raise ProtocolError(
+                f"bank {self.bank_id}: request {req.req_id} issued at {now} "
+                f"but earliest start is {earliest}"
+            )
+        dec = req.decoded
+        sag, cds = self._coords(dec)
+        kind = self.classify(req)
+        t = self.timing
+        self._last_column = now
+
+        overlapping = self.grid.active_cd_kinds(now, exclude_cds=cds)
+        overlapping_reads = sum(1 for k in overlapping if k == KIND_SENSE)
+        overlapping_writes = sum(1 for k in overlapping if k == KIND_WRITE)
+
+        if kind == SERVICE_ROW_HIT:
+            self.stats.count_read_issue(kind)
+            if overlapping_writes:
+                self.stats.count_read_under_write()
+            bus_start = now + t.tcas_hit
+            ready = bus_start + t.tburst
+            if self.event_log is not None:
+                for cd in cds:
+                    self.event_log.append((now, ready, sag, cd, kind))
+            return IssueResult(kind, bus_start, ready, now)
+
+        if kind == SERVICE_UNDERFETCH:
+            until = now + t.tcas
+            for cd in cds:
+                self.grid.occupy_cd(cd, now, t.tcas, KIND_SENSE)
+                self._latch(sag, cd, dec.row)
+            self.grid.extend_sag(sag, until, KIND_SENSE)
+            if self.event_log is not None:
+                for cd in cds:
+                    self.event_log.append((now, until, sag, cd, kind))
+            self.stats.count_read_issue(kind)
+            self.stats.count_sense(
+                self.sense_bits * len(cds),
+                overlapping_reads,
+                overlapping_writes,
+            )
+            bus_start = now + t.tcas
+            return IssueResult(kind, bus_start, bus_start + t.tburst, until)
+
+        if kind == SERVICE_ROW_MISS:
+            duration = t.trcd + t.tcas
+            until = now + duration
+            for cd in cds:
+                self.grid.occupy_cd(cd, now, duration, KIND_SENSE)
+                self._latch(sag, cd, dec.row)
+            self.grid.occupy_sag_exclusive(sag, now, duration, KIND_SENSE)
+            if self.event_log is not None:
+                for cd in cds:
+                    self.event_log.append((now, until, sag, cd, kind))
+            self.open_row[sag] = dec.row
+            self.row_ready[sag] = now + t.trcd
+            self.stats.count_read_issue(kind)
+            self.stats.count_sense(
+                self.sense_bits * len(cds),
+                overlapping_reads,
+                overlapping_writes,
+            )
+            bus_start = now + duration
+            return IssueResult(kind, bus_start, bus_start + t.tburst, until)
+
+        # Writes: SERVICE_WRITE (wordline already up) or SERVICE_WRITE_MISS.
+        activation = t.trcd if kind == SERVICE_WRITE_MISS else 0
+        duration = activation + t.write_occupancy
+        until = now + duration
+        for cd in cds:
+            self.grid.occupy_cd(cd, now, duration, KIND_WRITE)
+            # Write data passes through the S/A block on its way to the
+            # cells, so the written line's slice ends up latched
+            # (write-allocate into the row buffer).
+            self._latch(sag, cd, dec.row)
+        self.grid.occupy_sag_exclusive(sag, now, duration, KIND_WRITE)
+        if self.event_log is not None:
+            for cd in cds:
+                self.event_log.append((now, until, sag, cd, kind))
+        self.open_row[sag] = dec.row
+        if kind == SERVICE_WRITE_MISS:
+            self.row_ready[sag] = now + t.trcd
+            if self.sense_on_write_activate:
+                # DRAM-style ACT before the write: the full (unit) row is
+                # sensed even though the data is about to be overwritten.
+                self.stats.count_sense(
+                    self.sense_bits * self.column_divisions, 0, 0
+                )
+                for cd in range(self.column_divisions):
+                    self._latch(sag, cd, dec.row)
+            else:
+                # FgNVM: the activation senses only the CD slice(s) the
+                # CSL registers select for this write.
+                self.stats.count_sense(self.sense_bits * len(cds), 0, 0)
+        self.stats.count_write_issue(
+            self.write_bits, overlapping_reads + overlapping_writes
+        )
+        bus_start = now + activation + t.tcwd
+        return IssueResult(kind, bus_start, until, until)
+
+    def active_writes(self, now: int) -> int:
+        """Writes currently driving cells in this bank (throttle query)."""
+        return sum(
+            1 for k in self.grid.active_cd_kinds(now) if k == KIND_WRITE
+        )
+
+    # -- event-skipping support ----------------------------------------------
+
+    def next_release(self, now: int) -> Optional[int]:
+        """Earliest future cycle at which any bank resource frees."""
+        release = self.grid.next_release(now)
+        column_gate = self._last_column + self.timing.tccd
+        if column_gate > now:
+            release = (
+                column_gate if release is None else min(release, column_gate)
+            )
+        return release
+
+    # -- helpers --------------------------------------------------------------
+
+    def _coords(self, dec) -> Tuple[int, Tuple[int, ...]]:
+        """(sag, cds) for a decoded address, bounded to this bank's grid.
+
+        ``cds`` is the tuple of column divisions the access touches —
+        one for normal grids, ``cd_span`` adjacent ones when the grid is
+        finer than a cache line.  For MANY_BANKS units the decoder
+        already folded SAG/CD into the flat bank index, and the unit
+        itself is 1x1 — modulo keeps the same code path working for
+        every architecture.
+        """
+        base = dec.cd % self.column_divisions
+        cds = tuple(
+            (base + offset) % self.column_divisions
+            for offset in range(self.cd_span)
+        )
+        return (dec.sag % self.subarray_groups, cds)
+
+    def open_rows(self) -> List[Optional[int]]:
+        """Snapshot of per-SAG open rows (tests and debugging)."""
+        return list(self.open_row)
+
+
+def make_fgnvm_bank(
+    bank_id: int,
+    org,
+    timing: TimingCycles,
+    stats: StatsCollector,
+) -> FgNvmBank:
+    """Build an FgNVM bank from an :class:`~repro.config.OrgParams`."""
+    sense_bits = org.bytes_per_cd * BITS_PER_BYTE
+    write_bits = org.cacheline_bytes * BITS_PER_BYTE
+    return FgNvmBank(
+        bank_id=bank_id,
+        subarray_groups=org.subarray_groups,
+        column_divisions=org.column_divisions,
+        timing=timing,
+        sense_bits=sense_bits,
+        write_bits=write_bits,
+        stats=stats,
+        cd_span=org.cd_span,
+        per_sag_buffers=org.per_sag_row_buffers,
+    )

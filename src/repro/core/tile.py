@@ -1,0 +1,158 @@
+"""Tile-grid resource bookkeeping for an FgNVM bank.
+
+A bank subdivided into ``SAGs x CDs`` has two families of shared,
+time-multiplexed resources:
+
+* one **wordline engine per SAG** — row decoder + row-address latch.
+  Switching rows is exclusive, but once a wordline is up, *several CDs
+  may sense that same row concurrently* (the paper: "Other columns may
+  access that SAG assuming the same row is being accessed").  A write
+  makes its whole SAG unavailable until it completes (Section 4,
+  Backgrounded Writes).
+* one set of **I/O lines per CD** — local Y-select path to the global
+  sense amplifiers; strictly one operation at a time.
+
+:class:`TileGrid` tracks free-at times and operation kinds for every SAG
+and CD plus occupancy integrals for utilisation statistics.  It knows
+nothing about request semantics — the FgNVM bank model layers the
+classification logic on top.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+#: Occupancy kinds recorded per resource (for overlap statistics).
+KIND_IDLE = ""
+KIND_SENSE = "sense"
+KIND_WRITE = "write"
+
+
+class _Occupancy:
+    """One resource's holding window."""
+
+    __slots__ = ("until", "kind")
+
+    def __init__(self):
+        self.until = 0
+        self.kind = KIND_IDLE
+
+
+class TileGrid:
+    """Free/busy tracking for the SAG and CD resources of one bank."""
+
+    def __init__(self, subarray_groups: int, column_divisions: int):
+        if subarray_groups < 1 or column_divisions < 1:
+            raise ValueError("grid dimensions must be >= 1")
+        self.subarray_groups = subarray_groups
+        self.column_divisions = column_divisions
+        self._sag = [_Occupancy() for _ in range(subarray_groups)]
+        self._cd = [_Occupancy() for _ in range(column_divisions)]
+        #: Cycle-weighted busy integrals (for utilisation reporting).
+        self.sag_busy_cycles = 0
+        self.cd_busy_cycles = 0
+
+    # -- queries ---------------------------------------------------------
+
+    def cd_free_at(self, cd: int) -> int:
+        return self._cd[cd].until
+
+    def sag_free_at(self, sag: int) -> int:
+        """When the SAG is fully free (required for row changes/writes)."""
+        return self._sag[sag].until
+
+    def sag_write_free_at(self, sag: int) -> int:
+        """When any in-progress *write* in the SAG completes.
+
+        Same-row senses only have to respect writes (a write makes the
+        SAG unavailable); concurrent same-row senses are fine.
+        """
+        occ = self._sag[sag]
+        return occ.until if occ.kind == KIND_WRITE else 0
+
+    def is_tile_free(self, tile: Tuple[int, int], now: int) -> bool:
+        sag, cd = tile
+        return self._sag[sag].until <= now and self._cd[cd].until <= now
+
+    def active_cd_kinds(self, now: int,
+                        exclude_cds: "Optional[tuple]" = None) -> List[str]:
+        """Kinds of operations currently holding CDs (overlap stats).
+
+        Every array operation holds at least one CD, so CD occupancy is
+        the census of in-flight operations; ``exclude_cds`` removes the
+        caller's own columns from the count.
+        """
+        excluded = exclude_cds or ()
+        return [
+            occ.kind
+            for cd, occ in enumerate(self._cd)
+            if occ.until > now and cd not in excluded
+        ]
+
+    def any_write_active(self, now: int) -> bool:
+        return any(
+            occ.kind == KIND_WRITE and occ.until > now for occ in self._cd
+        )
+
+    # -- updates ---------------------------------------------------------
+
+    def occupy_cd(self, cd: int, start: int, duration: int, kind: str
+                  ) -> int:
+        """Hold one CD's I/O lines; raises if still held at ``start``.
+
+        Double-booking is a scheduler bug, not a condition to paper over.
+        """
+        occ = self._cd[cd]
+        if occ.until > start:
+            raise ValueError(
+                f"CD {cd} busy until {occ.until}, occupy at {start}"
+            )
+        occ.until = start + duration
+        occ.kind = kind
+        self.cd_busy_cycles += duration
+        return occ.until
+
+    def occupy_sag_exclusive(self, sag: int, start: int, duration: int,
+                             kind: str) -> int:
+        """Exclusively hold a SAG (row change or write)."""
+        occ = self._sag[sag]
+        if occ.until > start:
+            raise ValueError(
+                f"SAG {sag} busy until {occ.until}, occupy at {start}"
+            )
+        occ.until = start + duration
+        occ.kind = kind
+        self.sag_busy_cycles += duration
+        return occ.until
+
+    def extend_sag(self, sag: int, until: int, kind: str) -> None:
+        """Keep a SAG's wordline held at least through ``until``.
+
+        Used by same-row senses joining an already-open wordline; the
+        SAG frees only when the longest-running operation does.
+        """
+        occ = self._sag[sag]
+        if until > occ.until:
+            self.sag_busy_cycles += until - max(occ.until, 0)
+            occ.until = until
+            occ.kind = kind
+
+    # -- event-skipping support ----------------------------------------------
+
+    def next_release(self, now: int) -> Optional[int]:
+        """Earliest future release cycle across all resources, if any."""
+        future = [
+            occ.until
+            for occ in self._sag + self._cd
+            if occ.until > now
+        ]
+        return min(future) if future else None
+
+    def utilisation(self, elapsed_cycles: int) -> Tuple[float, float]:
+        """(SAG, CD) busy fractions over ``elapsed_cycles``."""
+        if elapsed_cycles <= 0:
+            return (0.0, 0.0)
+        return (
+            self.sag_busy_cycles / (elapsed_cycles * self.subarray_groups),
+            self.cd_busy_cycles / (elapsed_cycles * self.column_divisions),
+        )

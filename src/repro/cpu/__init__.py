@@ -1,0 +1,13 @@
+"""CPU substrate: ROB-limited trace-replay core and LLC filter model."""
+
+from .llc import AccessResult, LastLevelCache, LlcStats
+from .rob import ReorderBuffer
+from .trace_cpu import TraceCpu
+
+__all__ = [
+    "AccessResult",
+    "LastLevelCache",
+    "LlcStats",
+    "ReorderBuffer",
+    "TraceCpu",
+]

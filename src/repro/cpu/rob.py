@@ -1,0 +1,133 @@
+"""Reorder-buffer model for the trace-replay CPU.
+
+The ROB is a FIFO of two entry kinds:
+
+* **instruction chunks** — runs of independent, always-ready
+  instructions (the ``gap`` between memory accesses), stored as counts
+  so the hot loop is O(1) per cycle rather than O(instructions),
+* **load markers** — one per outstanding read; a load at the ROB head
+  blocks retirement until its data returns.
+
+Stores do not occupy ROB slots: they retire through the store buffer
+(admission to the controller's write queue is the CPU-side flow control).
+This is the conventional trace-replay abstraction (USIMM-style) — IPC
+sensitivity to memory behaviour comes from ROB fill/stall dynamics, which
+this captures.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional, Union
+
+from ..memsys.request import MemRequest, RequestState
+
+
+class _InstChunk:
+    """A run of plain instructions, retire-ready from the start."""
+
+    __slots__ = ("count",)
+
+    def __init__(self, count: int):
+        self.count = count
+
+
+class _LoadMarker:
+    """An in-flight read occupying one ROB slot until data returns."""
+
+    __slots__ = ("request",)
+
+    def __init__(self, request: MemRequest):
+        self.request = request
+
+
+RobEntry = Union[_InstChunk, _LoadMarker]
+
+
+class ReorderBuffer:
+    """Bounded in-order retirement window."""
+
+    def __init__(self, entries: int):
+        if entries < 1:
+            raise ValueError("ROB must have at least one entry")
+        self.capacity = entries
+        self._fifo: Deque[RobEntry] = deque()
+        self._occupancy = 0
+
+    @property
+    def occupancy(self) -> int:
+        """Slots in use (instructions plus load markers)."""
+        return self._occupancy
+
+    @property
+    def free_slots(self) -> int:
+        return self.capacity - self._occupancy
+
+    @property
+    def is_empty(self) -> bool:
+        return self._occupancy == 0
+
+    # -- fill ---------------------------------------------------------------
+
+    def push_instructions(self, count: int) -> int:
+        """Insert up to ``count`` plain instructions; returns how many fit."""
+        accepted = min(count, self.free_slots)
+        if accepted <= 0:
+            return 0
+        tail = self._fifo[-1] if self._fifo else None
+        if isinstance(tail, _InstChunk):
+            tail.count += accepted
+        else:
+            self._fifo.append(_InstChunk(accepted))
+        self._occupancy += accepted
+        return accepted
+
+    def push_load(self, request: MemRequest) -> bool:
+        """Insert a load marker; False when the ROB is full."""
+        if self.free_slots < 1:
+            return False
+        self._fifo.append(_LoadMarker(request))
+        self._occupancy += 1
+        return True
+
+    # -- drain ---------------------------------------------------------------
+
+    def retire(self, budget: int) -> int:
+        """Retire up to ``budget`` entries in order; returns count retired.
+
+        Retirement stops early at a load whose data has not returned.
+        """
+        retired = 0
+        while budget > 0 and self._fifo:
+            head = self._fifo[0]
+            if isinstance(head, _InstChunk):
+                take = min(budget, head.count)
+                head.count -= take
+                retired += take
+                budget -= take
+                if head.count == 0:
+                    self._fifo.popleft()
+            else:
+                if head.request.state is not RequestState.COMPLETED:
+                    break
+                self._fifo.popleft()
+                retired += 1
+                budget -= 1
+        self._occupancy -= retired
+        return retired
+
+    def head_blocked(self) -> bool:
+        """True when the head is a load still waiting for data."""
+        if not self._fifo:
+            return False
+        head = self._fifo[0]
+        return (
+            isinstance(head, _LoadMarker)
+            and head.request.state is not RequestState.COMPLETED
+        )
+
+    def head_request(self) -> Optional[MemRequest]:
+        """The blocking head load, if any (for diagnostics)."""
+        if self._fifo and isinstance(self._fifo[0], _LoadMarker):
+            return self._fifo[0].request
+        return None

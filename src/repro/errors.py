@@ -1,0 +1,45 @@
+"""Exception hierarchy for the repro package.
+
+All errors raised by the library derive from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+letting programming errors (``TypeError`` and friends) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigError(ReproError):
+    """An invalid or inconsistent configuration was supplied."""
+
+
+class AddressError(ReproError):
+    """An address could not be decoded or encoded with the active mapping."""
+
+
+class ProtocolError(ReproError):
+    """A memory command was issued that violates device timing or state.
+
+    The simulator raises this instead of silently mis-modelling: a
+    controller bug that issues, say, a column read to a closed row is a
+    modelling error, not a recoverable condition.
+    """
+
+
+class SchedulerError(ReproError):
+    """The scheduler produced an inconsistent decision (internal error)."""
+
+
+class QueueFullError(ReproError):
+    """An enqueue was attempted on a full transaction or write queue."""
+
+
+class TraceFormatError(ReproError):
+    """A trace file line could not be parsed."""
+
+
+class SimulationError(ReproError):
+    """The simulation reached an impossible state (e.g. deadlock)."""

@@ -1,0 +1,49 @@
+"""Memory-system substrate: requests, addressing, banks, buses, control.
+
+This package is the NVMain-equivalent layer of the reproduction — the
+cycle-level machinery every compared design (baseline, FgNVM, 128 banks)
+runs on.  The FgNVM-specific bank model lives in :mod:`repro.core`.
+"""
+
+from .address import AddressMapper
+from .bank_baseline import BaselineNvmBank, build_banks
+from .bus import CommandBus, DataBus
+from .controller import MemoryController
+from .queues import TransactionQueue, WriteQueue
+from .request import (
+    SERVICE_ROW_HIT,
+    SERVICE_ROW_MISS,
+    SERVICE_UNDERFETCH,
+    SERVICE_WRITE,
+    SERVICE_WRITE_MISS,
+    DecodedAddress,
+    MemRequest,
+    OpType,
+    RequestState,
+)
+from .scheduler import FcfsScheduler, FrfcfsScheduler, make_scheduler
+from .stats import StatsCollector
+
+__all__ = [
+    "AddressMapper",
+    "BaselineNvmBank",
+    "build_banks",
+    "CommandBus",
+    "DataBus",
+    "MemoryController",
+    "TransactionQueue",
+    "WriteQueue",
+    "SERVICE_ROW_HIT",
+    "SERVICE_ROW_MISS",
+    "SERVICE_UNDERFETCH",
+    "SERVICE_WRITE",
+    "SERVICE_WRITE_MISS",
+    "DecodedAddress",
+    "MemRequest",
+    "OpType",
+    "RequestState",
+    "FcfsScheduler",
+    "FrfcfsScheduler",
+    "make_scheduler",
+    "StatsCollector",
+]

@@ -1,0 +1,91 @@
+"""Baseline (non-subdivided) NVM bank and the many-banks organisation.
+
+The paper's baseline bank (Section 3.1) is, in resource terms, the 1x1
+degenerate case of the FgNVM model:
+
+* one SAG -> a single open row per bank,
+* one CD -> the entire row is sensed on first touch (full-row energy)
+  and every column of the open row is a buffered hit afterwards,
+* a write occupies the single (SAG, CD), i.e. blocks the whole bank.
+
+The "128 Banks" comparison point of Figure 4 replaces each FgNVM bank by
+``SAGs x CDs`` fully independent units.  Each unit is again a 1x1 bank —
+sized like one (SAG, CD) pair, so one sense latches ``row/CDs`` bytes —
+but there are no shared-SAG/shared-CD constraints between units; only the
+rank's command and data buses are shared.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..config.params import BankArchitecture, OrgParams, TimingCycles
+from ..core.fgnvm_bank import FgNvmBank, make_fgnvm_bank
+from ..units import BITS_PER_BYTE
+from .stats import StatsCollector
+
+
+class BaselineNvmBank(FgNvmBank):
+    """State-of-the-art NVM bank: single open row, full-row sensing."""
+
+    def __init__(
+        self,
+        bank_id: int,
+        timing: TimingCycles,
+        row_size_bytes: int,
+        cacheline_bytes: int,
+        stats: StatsCollector,
+    ):
+        super().__init__(
+            bank_id=bank_id,
+            subarray_groups=1,
+            column_divisions=1,
+            timing=timing,
+            sense_bits=row_size_bytes * BITS_PER_BYTE,
+            write_bits=cacheline_bytes * BITS_PER_BYTE,
+            stats=stats,
+            sense_on_write_activate=True,
+        )
+
+
+def build_banks(
+    org: OrgParams, timing: TimingCycles, stats: StatsCollector
+) -> List[FgNvmBank]:
+    """Instantiate one *channel's* bank list for any architecture.
+
+    The returned list is indexed by ``DecodedAddress.flat_bank`` (which
+    folds rank and bank — and SAG/CD for MANY_BANKS — but not channel;
+    each channel's controller owns its own list).
+    """
+    channel_banks = org.ranks_per_channel * org.banks_per_rank
+    if org.architecture is BankArchitecture.BASELINE:
+        return [
+            BaselineNvmBank(
+                bank_id,
+                timing,
+                org.row_size_bytes,
+                org.cacheline_bytes,
+                stats,
+            )
+            for bank_id in range(channel_banks)
+        ]
+    if org.architecture is BankArchitecture.FGNVM:
+        return [
+            make_fgnvm_bank(bank_id, org, timing, stats)
+            for bank_id in range(channel_banks)
+        ]
+    # MANY_BANKS: one independent unit per (rank, bank, SAG, CD); each
+    # unit's row is one CD slice wide, so its full-row sense matches the
+    # FgNVM partial-activation granularity.
+    units = channel_banks * org.subarray_groups * org.column_divisions
+    unit_row_bytes = org.row_size_bytes // org.column_divisions
+    return [
+        BaselineNvmBank(
+            bank_id,
+            timing,
+            unit_row_bytes,
+            org.cacheline_bytes,
+            stats,
+        )
+        for bank_id in range(units)
+    ]

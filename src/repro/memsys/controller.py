@@ -1,0 +1,223 @@
+"""The memory controller: queues, phase policy, issue loop, completions.
+
+One controller owns one channel's banks and buses.  Per memory cycle it:
+
+1. delivers data for transfers that completed at or before ``now``,
+2. decides the read/write phase — reads normally; writes while the write
+   queue is draining (watermark hysteresis) or when no reads are queued,
+3. fills up to ``issue_width`` command slots with the scheduler's best
+   issuable candidates.
+
+The FgNVM "Backgrounded Writes" behaviour needs no special-casing here:
+during a drain, writes saturate at most one (SAG, CD) per bank per write;
+once no further write is issuable this cycle, leftover command slots fall
+through to reads, which the FgNVM bank accepts in any non-conflicting
+tile.  On the baseline bank the same fall-through finds every bank
+blocked, reproducing the read/write interference the paper attacks.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Optional, Tuple
+
+from ..config.params import SystemConfig
+from ..errors import SimulationError
+from .address import AddressMapper
+from .bank_baseline import build_banks
+from .bus import CommandBus, DataBus
+from .queues import TransactionQueue, WriteQueue
+from .request import MemRequest, OpType
+from .scheduler import Candidate, make_scheduler
+from .stats import StatsCollector
+
+
+class MemoryController:
+    """Cycle-level controller for one channel."""
+
+    def __init__(self, config: SystemConfig, stats: StatsCollector,
+                 mapper: "AddressMapper | None" = None):
+        self.config = config
+        self.stats = stats
+        self.timing = config.timing.cycles()
+        self.mapper = mapper if mapper is not None else AddressMapper(
+            config.org
+        )
+        self.banks = build_banks(config.org, self.timing, stats)
+        if config.controller.close_page:
+            for bank in self.banks:
+                bank.close_page = True
+        self.scheduler = make_scheduler(config.controller.scheduler)
+        self.read_queue = TransactionQueue(
+            config.controller.read_queue_entries
+        )
+        self.write_queue = WriteQueue(
+            config.controller.write_queue_entries,
+            config.controller.write_high_watermark,
+            config.controller.write_low_watermark,
+        )
+        self.command_bus = CommandBus(config.controller.issue_width)
+        self.data_bus = DataBus(
+            config.controller.data_bus_width, self.timing.tburst
+        )
+        #: (completion_cycle, req_id, request) min-heap of in-flight reads.
+        self._completions: List[Tuple[int, int, MemRequest]] = []
+        self._flush_mode = False
+        self.forwarded_reads = 0
+
+    # -- admission ----------------------------------------------------------
+
+    def can_accept(self, op: OpType, address: int = 0) -> bool:
+        """Queue-space check (``address`` accepted for facade parity)."""
+        if op is OpType.READ:
+            return not self.read_queue.is_full
+        return not self.write_queue.is_full
+
+    def enqueue(self, req: MemRequest, now: int) -> None:
+        """Admit a decoded or raw request into the proper queue.
+
+        Reads that hit a queued write are serviced by forwarding: they
+        complete after a buffered-hit latency without touching a bank.
+        """
+        if req.decoded is None:
+            req.decoded = self.mapper.decode(req.address)
+        if req.is_read:
+            if self.write_queue.forwards(req.address):
+                req.mark_queued(now)
+                done = now + self.timing.tcas_hit + self.timing.tburst
+                req.mark_issued(now, done, "forwarded")
+                self.forwarded_reads += 1
+                self.stats.reads += 1
+                self.stats.row_hits += 1
+                heapq.heappush(
+                    self._completions, (done, req.req_id, req)
+                )
+                return
+            self.read_queue.push(req, now)
+        else:
+            self.write_queue.push(req, now)
+
+    # -- per-cycle operation --------------------------------------------------
+
+    def tick(self, now: int) -> List[MemRequest]:
+        """Advance one cycle: complete transfers, then issue commands."""
+        completed = self._pop_completions(now)
+        self._issue_phase(now)
+        return completed
+
+    def _pop_completions(self, now: int) -> List[MemRequest]:
+        done: List[MemRequest] = []
+        while self._completions and self._completions[0][0] <= now:
+            _, _, req = heapq.heappop(self._completions)
+            req.mark_completed()
+            if req.is_read:
+                self.stats.count_read_latency(req.latency)
+            done.append(req)
+        return done
+
+    def _issue_phase(self, now: int) -> None:
+        draining = self.write_queue.draining or self._flush_mode
+        for _ in range(self.config.controller.issue_width):
+            candidate = self._next_candidate(now, draining)
+            if candidate is None:
+                break
+            if not self.command_bus.acquire(now):
+                break
+            self._issue(candidate, now)
+
+    def _next_candidate(self, now: int, draining: bool
+                        ) -> Optional[Candidate]:
+        """Best issuable request under the current phase policy."""
+        first, second = (
+            (self.write_queue, self.read_queue) if draining
+            else (self.read_queue, self.write_queue)
+        )
+        primary = self.scheduler.pick(self._candidates(first, now), now)
+        if primary is not None:
+            return primary
+        # Fall through to the other class: reads sneak under a drain when
+        # no write is issuable; writes trickle out when no read can go —
+        # always under the eager Backgrounded-Writes policy, otherwise
+        # only once the read queue is empty.
+        if draining or self.config.controller.eager_writes or first.is_empty:
+            return self.scheduler.pick(self._candidates(second, now), now)
+        return None
+
+    def _candidates(self, queue: TransactionQueue, now: int
+                     ) -> List[Candidate]:
+        if queue is self.write_queue:
+            cap = self.config.controller.max_writes_per_bank
+            if cap is not None:
+                return [
+                    (req, self.banks[req.decoded.flat_bank])
+                    for req in queue
+                    if self.banks[req.decoded.flat_bank].active_writes(now) < cap
+                ]
+        return [
+            (req, self.banks[req.decoded.flat_bank]) for req in queue
+        ]
+
+    def _issue(self, candidate: Candidate, now: int) -> None:
+        req, bank = candidate
+        result = bank.issue(req, now)
+        if req.is_read:
+            bus_start = self.data_bus.reserve(result.bus_desired_start)
+            completion = bus_start + self.timing.tburst
+            req.mark_issued(now, completion, result.kind)
+            self.read_queue.remove(req)
+            heapq.heappush(
+                self._completions, (completion, req.req_id, req)
+            )
+        else:
+            # Write data crosses the bus after tCWD; the cell write then
+            # proceeds inside the bank.  The request is done (from the
+            # system's view) when the write pulse finishes.
+            self.data_bus.reserve(result.bus_desired_start)
+            req.mark_issued(now, result.data_ready, result.kind)
+            if self.write_queue.draining:
+                self.stats.write_drain_entries += 1
+            self.write_queue.remove(req)
+            heapq.heappush(
+                self._completions, (result.data_ready, req.req_id, req)
+            )
+
+    # -- progress queries ------------------------------------------------------
+
+    @property
+    def pending(self) -> int:
+        """Requests still queued or in flight."""
+        return (
+            len(self.read_queue) + len(self.write_queue)
+            + len(self._completions)
+        )
+
+    def busy(self) -> bool:
+        return self.pending > 0
+
+    def begin_flush(self) -> None:
+        """Drain every remaining write (end of simulation)."""
+        self._flush_mode = True
+
+    def next_event_after(self, now: int) -> Optional[int]:
+        """Earliest future cycle at which this controller can make progress.
+
+        Used for event-skipping when the CPU is stalled: the next data
+        completion, or the earliest cycle any queued request becomes
+        issuable.
+        """
+        horizon: Optional[int] = None
+        if self._completions:
+            horizon = self._completions[0][0]
+        for queue in (self.read_queue, self.write_queue):
+            for req in queue:
+                start = self.banks[req.decoded.flat_bank].earliest_start(
+                    req, now
+                )
+                when = max(start, now + 1)
+                if horizon is None or when < horizon:
+                    horizon = when
+        if horizon is not None and horizon <= now:
+            raise SimulationError(
+                f"controller event horizon {horizon} not after now={now}"
+            )
+        return horizon

@@ -1,0 +1,121 @@
+"""Controller queues: the transaction (read) queue and the write queue.
+
+Table 2 specifies 32 transaction-queue entries and 64 write drivers.  The
+write queue implements the standard watermark drain policy: the
+controller services reads until the write queue fills to the high
+watermark, then drains writes until it falls below the low watermark.
+Read requests that match a queued write are served from the write queue
+(store-to-load forwarding), like every real controller since FR-FCFS.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from ..errors import QueueFullError
+from .request import MemRequest
+
+
+class TransactionQueue:
+    """Bounded FIFO-arrival queue with arbitrary-order removal."""
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError("queue capacity must be >= 1")
+        self.capacity = capacity
+        self._entries: List[MemRequest] = []
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self):
+        return iter(self._entries)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._entries
+
+    def space(self) -> int:
+        return self.capacity - len(self._entries)
+
+    def push(self, req: MemRequest, cycle: int) -> None:
+        """Append a request; raises :class:`QueueFullError` when full."""
+        if self.is_full:
+            raise QueueFullError(
+                f"queue full ({self.capacity} entries) at cycle {cycle}"
+            )
+        req.mark_queued(cycle)
+        self._entries.append(req)
+
+    def remove(self, req: MemRequest) -> None:
+        self._entries.remove(req)
+
+    def oldest(self) -> Optional[MemRequest]:
+        return self._entries[0] if self._entries else None
+
+    def entries(self) -> List[MemRequest]:
+        """Arrival-ordered snapshot (oldest first)."""
+        return list(self._entries)
+
+
+class WriteQueue(TransactionQueue):
+    """Write queue with drain watermarks and store-to-load forwarding."""
+
+    def __init__(self, capacity: int, high_watermark: int, low_watermark: int):
+        super().__init__(capacity)
+        if not (0 < low_watermark < high_watermark <= capacity):
+            raise ValueError(
+                "watermarks must satisfy 0 < low < high <= capacity"
+            )
+        self.high_watermark = high_watermark
+        self.low_watermark = low_watermark
+        self._draining = False
+        self._forced = False
+        self._by_address: Dict[int, MemRequest] = {}
+
+    def push(self, req: MemRequest, cycle: int) -> None:
+        super().push(req, cycle)
+        # Last write to an address wins for forwarding purposes.
+        self._by_address[req.address] = req
+
+    def remove(self, req: MemRequest) -> None:
+        super().remove(req)
+        if self._by_address.get(req.address) is req:
+            del self._by_address[req.address]
+
+    def forwards(self, address: int) -> bool:
+        """True when a queued write can service a read to ``address``."""
+        return address in self._by_address
+
+    @property
+    def draining(self) -> bool:
+        """Whether the controller is currently in write-drain mode.
+
+        Hysteresis: drain starts at/above the high watermark and stops
+        once occupancy falls below the low watermark.  A forced drain
+        (:meth:`force_drain`) persists until the queue empties.
+        """
+        if self._forced:
+            if self.is_empty:
+                self._forced = False
+            else:
+                return True
+        if self._draining:
+            if len(self) < self.low_watermark:
+                self._draining = False
+        elif len(self) >= self.high_watermark:
+            self._draining = True
+        return self._draining
+
+    def force_drain(self) -> None:
+        """Enter drain mode regardless of occupancy (end-of-sim flush)."""
+        self._forced = True
+
+
+def oldest_first(requests: Iterable[MemRequest]) -> List[MemRequest]:
+    """Sort requests by arrival, tie-broken by creation order."""
+    return sorted(requests, key=lambda r: (r.arrival_cycle, r.req_id))

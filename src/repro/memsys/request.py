@@ -1,0 +1,125 @@
+"""Memory request objects and their lifecycle.
+
+A :class:`MemRequest` is one cache-line transaction as seen by the memory
+controller.  Requests are created by the CPU model (or a trace reader),
+decoded once by the :class:`~repro.memsys.address.AddressMapper`, queued in
+the controller, issued to a bank and finally completed when their data
+crosses the bus.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+class OpType(enum.Enum):
+    """Request operation type."""
+
+    READ = "R"
+    WRITE = "W"
+
+    @classmethod
+    def from_token(cls, token: str) -> "OpType":
+        """Parse a trace-file token ('R'/'W', case-insensitive)."""
+        normalized = token.strip().upper()
+        for op in cls:
+            if op.value == normalized:
+                return op
+        raise ValueError(f"unknown operation token: {token!r}")
+
+
+class RequestState(enum.Enum):
+    """Lifecycle states of a request inside the memory system."""
+
+    CREATED = enum.auto()
+    QUEUED = enum.auto()
+    ISSUED = enum.auto()
+    COMPLETED = enum.auto()
+
+
+@dataclass(frozen=True)
+class DecodedAddress:
+    """A physical address decoded against the active organisation.
+
+    ``sag`` and ``cd`` are the FgNVM coordinates; for non-subdivided
+    organisations they are both zero.  ``flat_bank`` is the global bank
+    index used to look up the bank model (for MANY_BANKS it already folds
+    the (SAG, CD) coordinates in).
+    """
+
+    channel: int
+    rank: int
+    bank: int
+    row: int
+    col: int
+    sag: int
+    cd: int
+    flat_bank: int
+
+
+_req_ids = itertools.count()
+
+
+@dataclass
+class MemRequest:
+    """One cache-line memory transaction."""
+
+    op: OpType
+    address: int
+    decoded: Optional[DecodedAddress] = None
+    arrival_cycle: int = 0
+    issue_cycle: int = -1
+    completion_cycle: int = -1
+    state: RequestState = RequestState.CREATED
+    #: Set at issue time: whether the access hit buffered data (row hit),
+    #: re-sensed an open row ("underfetch") or was a full row miss.
+    service_kind: str = ""
+    #: Issuing core's index (0 for single-core runs); lets multi-core
+    #: simulations route completions back to the right MSHR file.
+    owner: int = 0
+    req_id: int = field(default_factory=lambda: next(_req_ids))
+
+    @property
+    def is_read(self) -> bool:
+        return self.op is OpType.READ
+
+    @property
+    def is_write(self) -> bool:
+        return self.op is OpType.WRITE
+
+    @property
+    def latency(self) -> int:
+        """Arrival-to-completion latency in memory cycles."""
+        if self.completion_cycle < 0:
+            raise ValueError(f"request {self.req_id} not completed")
+        return self.completion_cycle - self.arrival_cycle
+
+    def mark_queued(self, cycle: int) -> None:
+        self.arrival_cycle = cycle
+        self.state = RequestState.QUEUED
+
+    def mark_issued(self, cycle: int, completion: int, kind: str) -> None:
+        self.issue_cycle = cycle
+        self.completion_cycle = completion
+        self.service_kind = kind
+        self.state = RequestState.ISSUED
+
+    def mark_completed(self) -> None:
+        self.state = RequestState.COMPLETED
+
+    def __repr__(self) -> str:  # keep queue dumps readable
+        return (
+            f"MemRequest(#{self.req_id} {self.op.value} 0x{self.address:x} "
+            f"{self.state.name})"
+        )
+
+
+#: Service-kind labels recorded on issue (used by stats and tests).
+SERVICE_ROW_HIT = "row_hit"
+SERVICE_ROW_MISS = "row_miss"
+SERVICE_UNDERFETCH = "underfetch"
+SERVICE_WRITE = "write"
+SERVICE_WRITE_MISS = "write_miss"

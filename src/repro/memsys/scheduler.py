@@ -1,0 +1,103 @@
+"""Memory-access scheduling policies.
+
+Implements the controller policies the paper evaluates:
+
+* :class:`FcfsScheduler` — oldest issuable request first.
+* :class:`FrfcfsScheduler` — first-ready FCFS [Rixner et al., ISCA'00]:
+  requests that would hit buffered data ("first ready") go first, oldest
+  first within each class.  This is Table 2's scheduler.
+* The paper's **Multi-Issue** augmentation is not a different ordering —
+  it is the same FRFCFS ranking applied to multiple command slots per
+  cycle, so it is expressed through ``ControllerParams.issue_width``
+  rather than a separate class; :func:`make_scheduler` maps the enum.
+
+A policy ranks *issuable* candidates; the controller determines
+issuability (bank resources, bus slots) and enforces read/write phase
+policy.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Protocol, Sequence, Tuple
+
+from ..config.params import SchedulerKind
+from ..errors import SchedulerError
+from .request import MemRequest
+
+
+class BankLike(Protocol):
+    """What a scheduler needs to know about a bank."""
+
+    def is_row_hit(self, req: MemRequest) -> bool: ...
+    def earliest_start(self, req: MemRequest, now: int) -> int: ...
+
+
+#: A schedulable candidate: the request plus its target bank model.
+Candidate = Tuple[MemRequest, BankLike]
+
+
+class SchedulingPolicy:
+    """Base class: rank issuable candidates, best first."""
+
+    name = "base"
+
+    def rank(self, candidates: Sequence[Candidate], now: int
+             ) -> List[Candidate]:
+        raise NotImplementedError
+
+    def pick(self, candidates: Sequence[Candidate], now: int
+             ) -> Optional[Candidate]:
+        """Best candidate, or None when nothing is issuable."""
+        ranked = self.rank(candidates, now)
+        return ranked[0] if ranked else None
+
+
+class FcfsScheduler(SchedulingPolicy):
+    """Oldest-first among issuable requests.
+
+    (Strict FCFS that refuses to reorder around a blocked head request
+    would deadlock against long PCM writes; like NVMain we use the
+    conventional relaxed form — oldest *issuable* first.)
+    """
+
+    name = "fcfs"
+
+    def rank(self, candidates: Sequence[Candidate], now: int
+             ) -> List[Candidate]:
+        issuable = [
+            cand for cand in candidates
+            if cand[1].earliest_start(cand[0], now) <= now
+        ]
+        issuable.sort(key=lambda cand: (cand[0].arrival_cycle,
+                                        cand[0].req_id))
+        return issuable
+
+
+class FrfcfsScheduler(SchedulingPolicy):
+    """First-ready (row-hit) requests first, then oldest-first."""
+
+    name = "frfcfs"
+
+    def rank(self, candidates: Sequence[Candidate], now: int
+             ) -> List[Candidate]:
+        issuable = [
+            cand for cand in candidates
+            if cand[1].earliest_start(cand[0], now) <= now
+        ]
+        issuable.sort(
+            key=lambda cand: (
+                not cand[1].is_row_hit(cand[0]),
+                cand[0].arrival_cycle,
+                cand[0].req_id,
+            )
+        )
+        return issuable
+
+
+def make_scheduler(kind: SchedulerKind) -> SchedulingPolicy:
+    """Instantiate the policy for a configuration enum value."""
+    if kind is SchedulerKind.FCFS:
+        return FcfsScheduler()
+    if kind in (SchedulerKind.FRFCFS, SchedulerKind.FRFCFS_MULTI_ISSUE):
+        return FrfcfsScheduler()
+    raise SchedulerError(f"unknown scheduler kind: {kind}")

@@ -1,0 +1,151 @@
+"""Simulation statistics collection.
+
+One :class:`StatsCollector` per simulated system gathers everything the
+paper's figures need:
+
+* request counts by kind (hit / underfetch / miss / write),
+* sense events and sensed bits (Figure 5's energy accounting),
+* parallelism events — senses overlapping other senses
+  (Multi-Activation) and reads issued under an in-progress write
+  (Backgrounded Writes),
+* read latency distribution and queueing behaviour,
+* cycle and instruction counts for IPC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+#: Latency histogram bucket edges, in memory cycles.
+LATENCY_BUCKETS = (8, 16, 32, 64, 128, 256, 512, 1024, 1 << 62)
+
+
+@dataclass
+class StatsCollector:
+    """Mutable counters updated on the simulator's hot path."""
+
+    # Request mix.
+    reads: int = 0
+    writes: int = 0
+    row_hits: int = 0
+    row_misses: int = 0
+    underfetches: int = 0
+
+    # Energy-relevant events.
+    senses: int = 0
+    sense_bits: int = 0
+    write_bits: int = 0
+
+    # Parallelism events.
+    multi_activation_senses: int = 0
+    reads_under_write: int = 0
+    writes_overlapped: int = 0
+
+    # Latency.
+    read_latency_sum: int = 0
+    read_latency_max: int = 0
+    latency_histogram: List[int] = field(
+        default_factory=lambda: [0] * len(LATENCY_BUCKETS)
+    )
+
+    # Queueing.
+    read_queue_full_events: int = 0
+    write_queue_full_events: int = 0
+    write_drain_entries: int = 0
+
+    # Progress.
+    cycles: int = 0
+    instructions: int = 0
+
+    def reset(self) -> None:
+        """Zero every counter in place (end-of-warmup)."""
+        fresh = StatsCollector()
+        for name, value in vars(fresh).items():
+            setattr(self, name, value)
+
+    # -- hot-path updates --------------------------------------------------
+
+    def count_read_issue(self, kind: str) -> None:
+        self.reads += 1
+        if kind == "row_hit":
+            self.row_hits += 1
+        elif kind == "underfetch":
+            self.underfetches += 1
+        else:
+            self.row_misses += 1
+
+    def count_sense(self, bits: int, overlapping_reads: int,
+                    overlapping_writes: int) -> None:
+        self.senses += 1
+        self.sense_bits += bits
+        if overlapping_reads:
+            self.multi_activation_senses += 1
+        if overlapping_writes:
+            self.reads_under_write += 1
+
+    def count_read_under_write(self) -> None:
+        """A buffered hit issued while a write was active in its bank."""
+        self.reads_under_write += 1
+
+    def count_write_issue(self, bits: int, overlapping: int) -> None:
+        self.writes += 1
+        self.write_bits += bits
+        if overlapping:
+            self.writes_overlapped += 1
+
+    def count_read_latency(self, latency: int) -> None:
+        self.read_latency_sum += latency
+        if latency > self.read_latency_max:
+            self.read_latency_max = latency
+        for index, edge in enumerate(LATENCY_BUCKETS):
+            if latency <= edge:
+                self.latency_histogram[index] += 1
+                break
+
+    # -- derived metrics ----------------------------------------------------
+
+    @property
+    def requests(self) -> int:
+        return self.reads + self.writes
+
+    @property
+    def row_hit_rate(self) -> float:
+        return self.row_hits / self.reads if self.reads else 0.0
+
+    @property
+    def underfetch_rate(self) -> float:
+        return self.underfetches / self.reads if self.reads else 0.0
+
+    @property
+    def avg_read_latency(self) -> float:
+        return self.read_latency_sum / self.reads if self.reads else 0.0
+
+    def ipc(self, cpu_cycles_per_mem_cycle: float) -> float:
+        """Instructions per CPU cycle over the simulated interval."""
+        if self.cycles == 0:
+            return 0.0
+        return self.instructions / (self.cycles * cpu_cycles_per_mem_cycle)
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat summary for reporting and EXPERIMENTS.md tables."""
+        return {
+            "cycles": self.cycles,
+            "instructions": self.instructions,
+            "reads": self.reads,
+            "writes": self.writes,
+            "row_hits": self.row_hits,
+            "row_misses": self.row_misses,
+            "underfetches": self.underfetches,
+            "row_hit_rate": round(self.row_hit_rate, 4),
+            "underfetch_rate": round(self.underfetch_rate, 4),
+            "senses": self.senses,
+            "sense_bits": self.sense_bits,
+            "write_bits": self.write_bits,
+            "multi_activation_senses": self.multi_activation_senses,
+            "reads_under_write": self.reads_under_write,
+            "avg_read_latency_cycles": round(self.avg_read_latency, 2),
+            "max_read_latency_cycles": self.read_latency_max,
+            "read_queue_full_events": self.read_queue_full_events,
+            "write_queue_full_events": self.write_queue_full_events,
+        }

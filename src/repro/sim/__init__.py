@@ -1,0 +1,70 @@
+"""Simulation driver: main loop, experiment runner, reporting."""
+
+from .experiment import (
+    DEFAULT_REQUESTS,
+    ExperimentCache,
+    compare_architectures,
+    geometric_mean,
+    run_benchmark,
+    run_trace,
+    speedup,
+    speedup_table,
+    sweep_benchmarks,
+)
+from .reporting import ascii_table, bar_chart, dict_table, series_table
+from .epochs import (
+    EpochRecorder,
+    EpochSample,
+    epoch_table,
+    phase_summary,
+    sparkline,
+)
+from .multicore import (
+    MultiCoreResult,
+    MultiCoreSimulator,
+    isolate_address_spaces,
+    run_mix,
+    weighted_speedup_study,
+)
+from .report import full_report
+from .simulator import SimResult, Simulator, simulate
+from .sweeps import SweepResult, parameter_sweep, render_sweep, swept_configs
+from .system import MemorySystem
+from .timeline import overlap_summary, render_timeline
+
+__all__ = [
+    "DEFAULT_REQUESTS",
+    "ExperimentCache",
+    "compare_architectures",
+    "geometric_mean",
+    "run_benchmark",
+    "run_trace",
+    "speedup",
+    "speedup_table",
+    "sweep_benchmarks",
+    "ascii_table",
+    "bar_chart",
+    "dict_table",
+    "series_table",
+    "EpochRecorder",
+    "EpochSample",
+    "epoch_table",
+    "phase_summary",
+    "sparkline",
+    "MultiCoreResult",
+    "MultiCoreSimulator",
+    "isolate_address_spaces",
+    "run_mix",
+    "weighted_speedup_study",
+    "full_report",
+    "SimResult",
+    "Simulator",
+    "simulate",
+    "SweepResult",
+    "parameter_sweep",
+    "render_sweep",
+    "swept_configs",
+    "MemorySystem",
+    "overlap_summary",
+    "render_timeline",
+]

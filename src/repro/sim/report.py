@@ -1,0 +1,120 @@
+"""Detailed run reports: latency histograms, tile utilisation, mixes.
+
+:func:`full_report` renders everything a memory-architecture study
+wants to see from one simulation beyond the headline IPC/energy:
+
+* the read-latency distribution (bucketed histogram with bars),
+* the request service mix (hits / underfetches / misses / writes),
+* per-bank SAG and CD utilisation (where the parallelism actually
+  happened),
+* bus pressure (data-lane occupancy and conflict cycles).
+
+Works on a finished :class:`~repro.sim.simulator.Simulator` (which
+still holds the controllers and banks) rather than the plain
+``SimResult``, because the per-bank state lives in the models.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..memsys.stats import LATENCY_BUCKETS, StatsCollector
+from .reporting import ascii_table, bar_chart
+from .simulator import Simulator
+
+
+def latency_histogram_table(stats: StatsCollector) -> str:
+    """Bucketed read-latency distribution with proportional bars."""
+    total = sum(stats.latency_histogram)
+    if total == 0:
+        return "(no reads completed)"
+    rows = []
+    lower = 0
+    for edge, count in zip(LATENCY_BUCKETS, stats.latency_histogram):
+        label = f"{lower}-{edge}" if edge < (1 << 62) else f">{lower}"
+        share = count / total
+        rows.append([label, count, f"{share:.1%}",
+                     "#" * max(0, round(40 * share))])
+        lower = edge
+    return ascii_table(
+        ["latency (cycles)", "reads", "share", ""], rows
+    )
+
+
+def service_mix(stats: StatsCollector) -> Dict[str, float]:
+    """Fractions of requests by service kind."""
+    total = max(1, stats.requests)
+    return {
+        "row hits": stats.row_hits / total,
+        "underfetches": stats.underfetches / total,
+        "row misses": stats.row_misses / total,
+        "writes": stats.writes / total,
+    }
+
+
+def bank_utilisation_table(simulator: Simulator) -> str:
+    """Per-bank SAG/CD busy fractions over the simulated interval."""
+    cycles = max(1, simulator.stats.cycles)
+    rows: List[List[object]] = []
+    for channel, controller in enumerate(simulator.controller.controllers):
+        for bank in controller.banks:
+            sag_util, cd_util = bank.grid.utilisation(cycles)
+            rows.append([
+                f"ch{channel}/bank{bank.bank_id}",
+                sag_util,
+                cd_util,
+            ])
+    return ascii_table(
+        ["bank", "SAG busy fraction", "CD busy fraction"], rows
+    )
+
+
+def bus_pressure(simulator: Simulator) -> Dict[str, float]:
+    """Data-bus occupancy and conflict statistics across channels."""
+    cycles = max(1, simulator.stats.cycles)
+    transfers = conflicts = busy = 0
+    for controller in simulator.controller.controllers:
+        bus = controller.data_bus
+        transfers += bus.transfers
+        conflicts += bus.conflict_cycles
+        busy += bus.busy_cycles
+    width = simulator.config.controller.data_bus_width
+    channels = len(simulator.controller.controllers)
+    return {
+        "transfers": transfers,
+        "utilisation": busy / (cycles * width * channels),
+        "conflict_cycles": conflicts,
+        "conflict_cycles_per_transfer": (
+            conflicts / transfers if transfers else 0.0
+        ),
+    }
+
+
+def full_report(simulator: Simulator) -> str:
+    """Everything above, as one printable block."""
+    stats = simulator.stats
+    pressure = bus_pressure(simulator)
+    parts = [
+        f"run report — {simulator.config.name}",
+        "",
+        "service mix:",
+        bar_chart(service_mix(stats), width=40),
+        "",
+        "read latency distribution:",
+        latency_histogram_table(stats),
+        "",
+        "tile utilisation:",
+        bank_utilisation_table(simulator),
+        "",
+        "data bus: "
+        f"{pressure['transfers']} transfers, "
+        f"{pressure['utilisation']:.1%} lane occupancy, "
+        f"{pressure['conflict_cycles']} conflict cycles "
+        f"({pressure['conflict_cycles_per_transfer']:.2f}/transfer)",
+        "",
+        "parallelism: "
+        f"{stats.multi_activation_senses} multi-activation senses, "
+        f"{stats.reads_under_write} reads under writes, "
+        f"{stats.writes_overlapped} overlapped writes",
+    ]
+    return "\n".join(parts)

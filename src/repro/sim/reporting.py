@@ -1,0 +1,98 @@
+"""Plain-text reporting: aligned tables and figure-series dumps.
+
+The benchmark harness and the examples print the same rows/series the
+paper's tables and figures show; these helpers keep that output aligned
+and dependency-free (no plotting libraries are assumed offline).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence, Union
+
+Cell = Union[str, int, float]
+
+
+def format_cell(value: Cell, precision: int = 3) -> str:
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def ascii_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Cell]],
+    precision: int = 3,
+) -> str:
+    """Render an aligned monospace table with a header rule."""
+    text_rows = [
+        [format_cell(cell, precision) for cell in row] for row in rows
+    ]
+    widths = [len(str(h)) for h in headers]
+    for row in text_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row width {len(row)} != header width {len(headers)}"
+            )
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [
+        "  ".join(str(h).ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * widths[i] for i in range(len(headers))),
+    ]
+    for row in text_rows:
+        lines.append(
+            "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def series_table(
+    series: Mapping[str, Mapping[str, float]],
+    row_label: str = "benchmark",
+    precision: int = 3,
+) -> str:
+    """Render a {row: {column: value}} nest (figure series) as a table."""
+    if not series:
+        return "(empty)"
+    columns: List[str] = []
+    for row_values in series.values():
+        for column in row_values:
+            if column not in columns:
+                columns.append(column)
+    headers = [row_label] + columns
+    rows = [
+        [row_name] + [row_values.get(column, "") for column in columns]
+        for row_name, row_values in series.items()
+    ]
+    return ascii_table(headers, rows, precision)
+
+
+def bar_chart(
+    values: Mapping[str, float],
+    width: int = 50,
+    unit: str = "",
+    precision: int = 3,
+) -> str:
+    """A quick horizontal ASCII bar chart (examples' visual output)."""
+    if not values:
+        return "(empty)"
+    peak = max(values.values())
+    if peak <= 0:
+        peak = 1.0
+    label_width = max(len(name) for name in values)
+    lines = []
+    for name, value in values.items():
+        bar = "#" * max(1, round(width * value / peak))
+        lines.append(
+            f"{name.ljust(label_width)}  {bar} {value:.{precision}f}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def dict_table(data: Dict[str, Cell], precision: int = 3) -> str:
+    """Two-column key/value table (config describe() output)."""
+    return ascii_table(
+        ["key", "value"],
+        [[key, value] for key, value in data.items()],
+        precision,
+    )

@@ -1,0 +1,174 @@
+"""The simulation main loop.
+
+Couples one :class:`~repro.cpu.trace_cpu.TraceCpu` to one
+:class:`~repro.memsys.controller.MemoryController` on a shared integer
+clock of memory cycles.  The loop is cycle-driven with event skipping:
+whenever the CPU can make no progress until a memory event (and when the
+CPU has finished and only the write drain remains), the clock jumps
+straight to the controller's next event instead of idling cycle by
+cycle — a large win given PCM's 60-cycle write pulses.
+
+End of run: the trace is fully retired, the controller has drained every
+queued write (a flush is forced once the CPU finishes), and no transfer
+is in flight.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from ..config.params import SystemConfig
+from ..config.validate import validate_config
+from ..core.energy import (
+    EnergyBreakdown,
+    measure_energy,
+    measure_perfect_energy,
+)
+from ..cpu.trace_cpu import TraceCpu
+from ..errors import SimulationError
+from ..memsys.stats import StatsCollector
+from ..workloads.record import TraceRecord
+from .epochs import EpochRecorder, EpochSample
+from .system import MemorySystem
+
+
+@dataclass
+class SimResult:
+    """Everything one simulation produced."""
+
+    config: SystemConfig
+    stats: StatsCollector
+    energy: EnergyBreakdown
+    perfect_energy: EnergyBreakdown
+    ipc: float
+    cycles: int
+    instructions: int
+    #: Per-epoch counter deltas when sim.epoch_cycles is set.
+    epochs: "list[EpochSample] | None" = None
+
+    def summary(self) -> dict:
+        """Flat dict for reports (EXPERIMENTS.md rows)."""
+        data = {
+            "config": self.config.name,
+            "ipc": round(self.ipc, 4),
+        }
+        data.update(self.stats.as_dict())
+        data.update(
+            {f"energy_{k}": v for k, v in self.energy.as_dict().items()}
+        )
+        return data
+
+
+class Simulator:
+    """One CPU + one memory system, run to completion."""
+
+    def __init__(self, config: SystemConfig, trace: Iterable[TraceRecord]):
+        validate_config(config)
+        self.config = config
+        self.stats = StatsCollector()
+        self.controller = MemorySystem(config, self.stats)
+        self.cpu = TraceCpu(
+            config.cpu,
+            trace,
+            self.controller,
+            self.stats,
+            config.timing.tck_ns,
+        )
+        self.now = 0
+        self._flush_started = False
+        self._warmup_left = config.sim.warmup_requests
+        self._warmup_cycle = 0
+        self._epochs = (
+            EpochRecorder(self.stats, config.sim.epoch_cycles)
+            if config.sim.epoch_cycles
+            else None
+        )
+
+    def run(self) -> SimResult:
+        """Run to completion and return the results."""
+        sim = self.config.sim
+        last_progress_marker = self._progress_marker()
+        last_progress_cycle = 0
+
+        while True:
+            completed = self.controller.tick(self.now)
+            finished_reads = sum(1 for req in completed if req.is_read)
+            if finished_reads:
+                self.cpu.on_read_completed(finished_reads)
+            self.cpu.tick(self.now)
+            if self._epochs is not None:
+                self._epochs.observe(self.now, self.controller.pending)
+            if (self._warmup_left
+                    and self.stats.requests >= self._warmup_left):
+                # Warm-up complete: statistics restart here.
+                self.stats.reset()
+                self._warmup_left = 0
+                self._warmup_cycle = self.now
+
+            if self.cpu.done():
+                if not self._flush_started:
+                    self.controller.begin_flush()
+                    self._flush_started = True
+                if not self.controller.busy():
+                    break
+
+            marker = self._progress_marker()
+            if marker != last_progress_marker:
+                last_progress_marker = marker
+                last_progress_cycle = self.now
+            elif self.now - last_progress_cycle > sim.deadlock_cycles:
+                raise SimulationError(
+                    f"no progress for {sim.deadlock_cycles} cycles at "
+                    f"cycle {self.now} (config {self.config.name}); "
+                    f"pending={self.controller.pending}"
+                )
+
+            self.now = self._next_cycle()
+            if self.now > sim.max_cycles:
+                raise SimulationError(
+                    f"exceeded max_cycles={sim.max_cycles} "
+                    f"(config {self.config.name})"
+                )
+
+        self.stats.cycles = max(self.now - self._warmup_cycle, 1)
+        cpu_ratio = self.config.cpu.cpu_cycles_per_mem_cycle(
+            self.config.timing.tck_ns
+        )
+        return SimResult(
+            config=self.config,
+            stats=self.stats,
+            energy=measure_energy(self.config, self.stats),
+            perfect_energy=measure_perfect_energy(self.config, self.stats),
+            ipc=self.stats.ipc(cpu_ratio),
+            cycles=self.stats.cycles,
+            instructions=self.stats.instructions,
+            epochs=self._epochs.samples if self._epochs else None,
+        )
+
+    # -- clock advance ------------------------------------------------------
+
+    def _next_cycle(self) -> int:
+        """Next cycle to simulate, skipping dead time when possible."""
+        naive = self.now + 1
+        can_skip = self.cpu.done() or self.cpu.fully_stalled()
+        if not can_skip:
+            return naive
+        horizon = self.controller.next_event_after(self.now)
+        if horizon is None:
+            # CPU stalled with no memory event: only legal when the CPU
+            # is done and the controller is empty (loop exits first).
+            return naive
+        return max(naive, horizon)
+
+    def _progress_marker(self) -> tuple:
+        return (
+            self.stats.instructions,
+            self.controller.commands_issued(),
+            self.controller.pending,
+        )
+
+
+def simulate(config: SystemConfig, trace: Iterable[TraceRecord]) -> SimResult:
+    """Build and run a simulator in one call (the common entry point)."""
+    return Simulator(config, trace).run()

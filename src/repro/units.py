@@ -1,0 +1,107 @@
+"""Unit helpers: time, energy, and size conversions.
+
+The simulator runs on an integer clock of *memory cycles*.  All external
+timing parameters are specified in nanoseconds (as in the paper's Table 2)
+and converted to cycles with :func:`ns_to_cycles`.  Energy bookkeeping is
+done in picojoules (pJ) and area in square micrometres (um^2), matching the
+units the paper reports.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .errors import ConfigError
+
+#: Memory clock period used throughout the reproduction (DDR-style 800 MHz
+#: command clock / 1600 MT/s data rate).  Table 2 timings convert to integer
+#: cycle counts at this tCK.
+DEFAULT_TCK_NS = 2.5
+
+#: Nehalem-like CPU clock (paper Section 6 models a Nehalem-class core).
+DEFAULT_CPU_CLOCK_GHZ = 3.2
+
+KILO = 1_000
+MEGA = 1_000_000
+GIGA = 1_000_000_000
+
+KIB = 1024
+MIB = 1024 * 1024
+GIB = 1024 * 1024 * 1024
+
+#: Bits in one byte; named to keep bit/byte conversions greppable.
+BITS_PER_BYTE = 8
+
+
+def ns_to_cycles(time_ns: float, tck_ns: float = DEFAULT_TCK_NS) -> int:
+    """Convert a latency in nanoseconds to whole memory cycles (round up).
+
+    Rounding up is the conservative choice used by real controllers: a
+    device needs *at least* ``time_ns``, so the controller waits the next
+    full cycle boundary.
+
+    >>> ns_to_cycles(25.0)
+    10
+    >>> ns_to_cycles(95.0)
+    38
+    """
+    if time_ns < 0:
+        raise ConfigError(f"negative latency: {time_ns} ns")
+    if tck_ns <= 0:
+        raise ConfigError(f"non-positive clock period: {tck_ns} ns")
+    # Guard against float fuzz (e.g. 7.5/2.5 -> 3.0000000000000004).
+    cycles = time_ns / tck_ns
+    nearest = round(cycles)
+    if math.isclose(cycles, nearest, rel_tol=1e-9, abs_tol=1e-9):
+        return int(nearest)
+    return int(math.ceil(cycles))
+
+
+def cycles_to_ns(cycles: int, tck_ns: float = DEFAULT_TCK_NS) -> float:
+    """Convert a cycle count back to nanoseconds."""
+    if cycles < 0:
+        raise ConfigError(f"negative cycle count: {cycles}")
+    return cycles * tck_ns
+
+
+def cycles_to_us(cycles: int, tck_ns: float = DEFAULT_TCK_NS) -> float:
+    """Convert a cycle count to microseconds."""
+    return cycles_to_ns(cycles, tck_ns) / 1e3
+
+
+def pj_to_nj(pico_joules: float) -> float:
+    """Picojoules to nanojoules."""
+    return pico_joules / 1e3
+
+
+def pj_to_uj(pico_joules: float) -> float:
+    """Picojoules to microjoules."""
+    return pico_joules / 1e6
+
+
+def um2_to_mm2(um2: float) -> float:
+    """Square micrometres to square millimetres."""
+    return um2 / 1e6
+
+
+def mm2_to_um2(mm2: float) -> float:
+    """Square millimetres to square micrometres."""
+    return mm2 * 1e6
+
+
+def is_power_of_two(value: int) -> bool:
+    """True for 1, 2, 4, 8, ...; False for 0, negatives and non-powers.
+
+    >>> is_power_of_two(32)
+    True
+    >>> is_power_of_two(0)
+    False
+    """
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def log2_exact(value: int) -> int:
+    """Integer log2 of a power of two; raises ConfigError otherwise."""
+    if not is_power_of_two(value):
+        raise ConfigError(f"{value} is not a power of two")
+    return value.bit_length() - 1

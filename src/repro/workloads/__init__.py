@@ -1,0 +1,65 @@
+"""Workloads: SPEC2006-like profiles, synthetic kernels, trace I/O."""
+
+from .characterize import TraceCharacter, characterize, fidelity_report
+from .record import TraceRecord, read_fraction, total_instructions, trace_mpki
+from .spec_profiles import (
+    PROFILES,
+    BenchmarkProfile,
+    benchmark_names,
+    get_profile,
+)
+from .synthetic import (
+    copy_kernel,
+    multi_stream_kernel,
+    pointer_chase_kernel,
+    random_kernel,
+    stream_kernel,
+    strided_kernel,
+)
+from .trace_io import (
+    read_nvmain_trace,
+    read_trace,
+    trace_to_string,
+    write_nvmain_trace,
+    write_trace,
+)
+from .tracegen import ProfileTraceGenerator, generate_trace
+from .transform import (
+    concat_traces,
+    interleave_traces,
+    offset_trace,
+    scale_gaps,
+    slice_trace,
+)
+
+__all__ = [
+    "TraceCharacter",
+    "characterize",
+    "fidelity_report",
+    "TraceRecord",
+    "read_fraction",
+    "total_instructions",
+    "trace_mpki",
+    "PROFILES",
+    "BenchmarkProfile",
+    "benchmark_names",
+    "get_profile",
+    "copy_kernel",
+    "multi_stream_kernel",
+    "pointer_chase_kernel",
+    "random_kernel",
+    "stream_kernel",
+    "strided_kernel",
+    "read_nvmain_trace",
+    "read_trace",
+    "trace_to_string",
+    "write_nvmain_trace",
+    "write_trace",
+    "ProfileTraceGenerator",
+    "generate_trace",
+    "concat_traces",
+    "interleave_traces",
+    "offset_trace",
+    "scale_gaps",
+    "slice_trace",
+]

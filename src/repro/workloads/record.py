@@ -1,0 +1,60 @@
+"""Trace records: the interface between workloads and the CPU model.
+
+A trace is a sequence of LLC-miss-level memory accesses, each annotated
+with the number of independent (non-memory) instructions the program
+executes before it.  This is the SimPoint-slice equivalent: the paper
+feeds gem5 quarter-billion-instruction SPEC2006 regions; we feed the CPU
+model statistically equivalent streams (see
+:mod:`repro.workloads.spec_profiles`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List
+
+from ..memsys.request import OpType
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One memory access plus its preceding instruction gap.
+
+    ``gap`` — instructions executed (and retired) before this access;
+    ``op`` — read or write; ``address`` — byte address (cache-line
+    aligned by convention, but the simulator aligns defensively).
+    """
+
+    gap: int
+    op: OpType
+    address: int
+
+    def __post_init__(self):
+        if self.gap < 0:
+            raise ValueError(f"negative instruction gap: {self.gap}")
+        if self.address < 0:
+            raise ValueError(f"negative address: {self.address:#x}")
+
+
+def total_instructions(trace: Iterable[TraceRecord]) -> int:
+    """Instructions a trace represents (gaps plus the accesses themselves)."""
+    total = 0
+    for record in trace:
+        total += record.gap + 1
+    return total
+
+
+def read_fraction(trace: List[TraceRecord]) -> float:
+    """Fraction of accesses that are reads."""
+    if not trace:
+        return 0.0
+    reads = sum(1 for record in trace if record.op is OpType.READ)
+    return reads / len(trace)
+
+
+def trace_mpki(trace: List[TraceRecord]) -> float:
+    """Memory accesses per kilo-instruction represented by the trace."""
+    instructions = total_instructions(trace)
+    if instructions == 0:
+        return 0.0
+    return 1000.0 * len(trace) / instructions

@@ -1,0 +1,112 @@
+"""Synthetic micro-kernels: raw access streams with known structure.
+
+These kernels exercise specific memory behaviours in isolation — useful
+for unit/It tests, for the quickstart example, and for ablations where a
+controlled pattern is clearer than a SPEC-like profile:
+
+* :func:`stream_kernel` — one sequential read stream (best case for
+  row-buffer locality; worst case for Multi-Activation).
+* :func:`copy_kernel` — paired read + write streams (STREAM-copy-like;
+  exercises Backgrounded Writes).
+* :func:`random_kernel` — uniform random lines (no locality; every
+  access a row miss).
+* :func:`pointer_chase_kernel` — one dependent chain (zero MLP; pure
+  latency sensitivity).
+* :func:`strided_kernel` — fixed-stride walk (tunable row reuse).
+* :func:`multi_stream_kernel` — N interleaved sequential streams
+  (tunable bank/SAG parallelism; the Multi-Activation showcase).
+
+All kernels are deterministic given their seed and emit
+:class:`~repro.workloads.record.TraceRecord` lists.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from ..memsys.request import OpType
+from .record import TraceRecord
+
+LINE = 64
+
+
+def stream_kernel(count: int, gap: int = 20, start: int = 0) -> List[TraceRecord]:
+    """Sequential reads, one per ``gap`` instructions."""
+    return [
+        TraceRecord(gap, OpType.READ, start + i * LINE) for i in range(count)
+    ]
+
+
+def copy_kernel(count: int, gap: int = 20, src: int = 0,
+                dst: int = 1 << 28) -> List[TraceRecord]:
+    """Alternating read-from-src / write-to-dst, STREAM-copy style."""
+    records: List[TraceRecord] = []
+    for i in range(count // 2):
+        records.append(TraceRecord(gap, OpType.READ, src + i * LINE))
+        records.append(TraceRecord(0, OpType.WRITE, dst + i * LINE))
+    return records
+
+
+def random_kernel(count: int, footprint_bytes: int = 1 << 30,
+                  gap: int = 20, write_fraction: float = 0.0,
+                  seed: int = 7) -> List[TraceRecord]:
+    """Uniform random cache lines over ``footprint_bytes``."""
+    rng = random.Random(seed)
+    lines = footprint_bytes // LINE
+    records = []
+    for _ in range(count):
+        op = OpType.WRITE if rng.random() < write_fraction else OpType.READ
+        records.append(TraceRecord(gap, op, rng.randrange(lines) * LINE))
+    return records
+
+
+def pointer_chase_kernel(count: int, footprint_bytes: int = 1 << 28,
+                         gap: int = 50, seed: int = 11) -> List[TraceRecord]:
+    """A single dependent chain of random hops (zero MLP).
+
+    The replay CPU cannot distinguish dependence explicitly, but a chase
+    with high gaps and one stream reproduces its serialised behaviour.
+    """
+    rng = random.Random(seed)
+    lines = footprint_bytes // LINE
+    position = rng.randrange(lines)
+    records = []
+    for _ in range(count):
+        position = rng.randrange(lines)
+        records.append(TraceRecord(gap, OpType.READ, position * LINE))
+    return records
+
+
+def strided_kernel(count: int, stride_lines: int, gap: int = 20,
+                   start: int = 0) -> List[TraceRecord]:
+    """Fixed-stride reads; stride >= lines-per-row defeats row reuse."""
+    if stride_lines < 1:
+        raise ValueError("stride must be >= 1 line")
+    return [
+        TraceRecord(gap, OpType.READ, start + i * stride_lines * LINE)
+        for i in range(count)
+    ]
+
+
+def multi_stream_kernel(count: int, streams: int, gap: int = 20,
+                        stream_spacing_bytes: int = 1 << 24,
+                        write_fraction: float = 0.0,
+                        seed: int = 13) -> List[TraceRecord]:
+    """N interleaved sequential streams starting far apart.
+
+    With spacing chosen to land streams in different SAGs/banks, this is
+    the canonical Multi-Activation workload: every stream keeps its own
+    row open.
+    """
+    if streams < 1:
+        raise ValueError("needs at least one stream")
+    rng = random.Random(seed)
+    positions = [i * stream_spacing_bytes for i in range(streams)]
+    records = []
+    for i in range(count):
+        index = i % streams
+        op = OpType.WRITE if rng.random() < write_fraction else OpType.READ
+        records.append(TraceRecord(gap, op, positions[index]))
+        positions[index] += LINE
+    return records

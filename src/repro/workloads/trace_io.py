@@ -1,0 +1,154 @@
+"""Trace file reading and writing.
+
+Two formats are supported:
+
+* **native** — one access per line: ``<gap> <R|W> <hex-address>``, with
+  ``#`` comments and blank lines ignored.  This is the format the
+  generators emit and the examples ship.
+* **nvmain** — the NVMain simulator's trace format,
+  ``<cycle> <R|W> <hex-address> <data> [<thread>]``.  On import, cycle
+  deltas are converted to instruction gaps with a cycles-per-instruction
+  factor; on export, gaps are converted back.  Data payloads are not
+  simulated and are written as zeros.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import Iterable, Iterator, List, TextIO, Union
+
+from ..errors import TraceFormatError
+from ..memsys.request import OpType
+from .record import TraceRecord
+
+PathOrFile = Union[str, Path, TextIO]
+
+
+def _open_for_read(source: PathOrFile):
+    if isinstance(source, (str, Path)):
+        return open(source, "r", encoding="utf-8"), True
+    return source, False
+
+
+def _open_for_write(target: PathOrFile):
+    if isinstance(target, (str, Path)):
+        return open(target, "w", encoding="utf-8"), True
+    return target, False
+
+
+def write_trace(records: Iterable[TraceRecord], target: PathOrFile) -> int:
+    """Write records in native format; returns the line count."""
+    handle, owned = _open_for_write(target)
+    count = 0
+    try:
+        handle.write("# repro native trace: <gap> <R|W> <hex-address>\n")
+        for record in records:
+            handle.write(
+                f"{record.gap} {record.op.value} 0x{record.address:x}\n"
+            )
+            count += 1
+    finally:
+        if owned:
+            handle.close()
+    return count
+
+
+def read_trace(source: PathOrFile) -> List[TraceRecord]:
+    """Read a native-format trace."""
+    handle, owned = _open_for_read(source)
+    records: List[TraceRecord] = []
+    try:
+        for line_no, line in enumerate(handle, start=1):
+            text = line.strip()
+            if not text or text.startswith("#"):
+                continue
+            parts = text.split()
+            if len(parts) != 3:
+                raise TraceFormatError(
+                    f"line {line_no}: expected 3 fields, got {len(parts)}: "
+                    f"{text!r}"
+                )
+            try:
+                gap = int(parts[0])
+                op = OpType.from_token(parts[1])
+                address = int(parts[2], 0)
+            except ValueError as exc:
+                raise TraceFormatError(f"line {line_no}: {exc}") from exc
+            records.append(TraceRecord(gap, op, address))
+    finally:
+        if owned:
+            handle.close()
+    return records
+
+
+def write_nvmain_trace(
+    records: Iterable[TraceRecord],
+    target: PathOrFile,
+    cycles_per_instruction: float = 0.5,
+    thread_id: int = 0,
+) -> int:
+    """Export to NVMain's ``cycle op address data thread`` format."""
+    if cycles_per_instruction <= 0:
+        raise TraceFormatError("cycles_per_instruction must be positive")
+    handle, owned = _open_for_write(target)
+    cycle = 0
+    count = 0
+    try:
+        for record in records:
+            cycle += max(1, round((record.gap + 1) * cycles_per_instruction))
+            handle.write(
+                f"{cycle} {record.op.value} 0x{record.address:x} 0 "
+                f"{thread_id}\n"
+            )
+            count += 1
+    finally:
+        if owned:
+            handle.close()
+    return count
+
+
+def read_nvmain_trace(
+    source: PathOrFile, cycles_per_instruction: float = 0.5
+) -> List[TraceRecord]:
+    """Import an NVMain-format trace, converting cycles to gaps."""
+    if cycles_per_instruction <= 0:
+        raise TraceFormatError("cycles_per_instruction must be positive")
+    handle, owned = _open_for_read(source)
+    records: List[TraceRecord] = []
+    last_cycle = 0
+    try:
+        for line_no, line in enumerate(handle, start=1):
+            text = line.strip()
+            if not text or text.startswith("#"):
+                continue
+            parts = text.split()
+            if len(parts) < 3:
+                raise TraceFormatError(
+                    f"line {line_no}: expected >= 3 fields: {text!r}"
+                )
+            try:
+                cycle = int(parts[0])
+                op = OpType.from_token(parts[1])
+                address = int(parts[2], 0)
+            except ValueError as exc:
+                raise TraceFormatError(f"line {line_no}: {exc}") from exc
+            if cycle < last_cycle:
+                raise TraceFormatError(
+                    f"line {line_no}: cycles must be non-decreasing"
+                )
+            delta = cycle - last_cycle
+            last_cycle = cycle
+            gap = max(0, round(delta / cycles_per_instruction) - 1)
+            records.append(TraceRecord(gap, op, address))
+    finally:
+        if owned:
+            handle.close()
+    return records
+
+
+def trace_to_string(records: Iterable[TraceRecord]) -> str:
+    """Native-format trace as a string (round-trip testing helper)."""
+    buffer = io.StringIO()
+    write_trace(records, buffer)
+    return buffer.getvalue()

@@ -1,0 +1,122 @@
+"""Trace transformations: offset, slice, concatenate, rescale.
+
+Utilities for composing studies out of existing traces:
+
+* :func:`offset_trace` — relocate a trace to a different address base.
+  Multi-programmed mixes need this: two programs must not alias the
+  same physical lines, or the controller's store-to-load forwarding
+  would couple them (`repro.sim.multicore` callers offset each core).
+* :func:`slice_trace` — take a region of interest (SimPoint-style).
+* :func:`concat_traces` — phases back to back.
+* :func:`scale_gaps` — change a trace's memory intensity (MPKI) while
+  keeping its address pattern.
+* :func:`interleave_traces` — round-robin merge by instruction budget
+  (a context-switching single core running several programs).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from .record import TraceRecord
+
+
+def offset_trace(trace: Sequence[TraceRecord], base: int
+                 ) -> List[TraceRecord]:
+    """Shift every address by ``base`` bytes (cache-line aligned).
+
+    >>> from repro.memsys.request import OpType
+    >>> t = [TraceRecord(1, OpType.READ, 0x40)]
+    >>> offset_trace(t, 1 << 30)[0].address == 0x40 + (1 << 30)
+    True
+    """
+    if base % 64 != 0:
+        raise ValueError("offset must be cache-line aligned")
+    if base < 0:
+        raise ValueError("offset must be non-negative")
+    return [
+        TraceRecord(r.gap, r.op, r.address + base) for r in trace
+    ]
+
+
+def slice_trace(trace: Sequence[TraceRecord], start: int, count: int
+                ) -> List[TraceRecord]:
+    """Records [start, start+count) — a region of interest."""
+    if start < 0 or count < 0:
+        raise ValueError("start and count must be non-negative")
+    return list(trace[start:start + count])
+
+
+def concat_traces(*traces: Sequence[TraceRecord]) -> List[TraceRecord]:
+    """Run traces back to back (program phases)."""
+    merged: List[TraceRecord] = []
+    for trace in traces:
+        merged.extend(trace)
+    return merged
+
+
+def scale_gaps(trace: Sequence[TraceRecord], factor: float
+               ) -> List[TraceRecord]:
+    """Multiply instruction gaps by ``factor`` (changes MPKI by ~1/factor).
+
+    Fractional parts are carried between records so the long-run mean is
+    exact rather than rounded per record.
+    """
+    if factor < 0:
+        raise ValueError("factor must be non-negative")
+    scaled: List[TraceRecord] = []
+    carry = 0.0
+    for record in trace:
+        exact = record.gap * factor + carry
+        gap = int(exact)
+        carry = exact - gap
+        scaled.append(TraceRecord(gap, record.op, record.address))
+    return scaled
+
+
+def interleave_traces(
+    traces: Sequence[Sequence[TraceRecord]],
+    quantum_instructions: int = 10_000,
+) -> List[TraceRecord]:
+    """Round-robin merge by instruction budget (context switching).
+
+    Each turn takes records from one trace until ``quantum_instructions``
+    retire, then switches.  Exhausted traces drop out; the result ends
+    when all do.
+    """
+    if quantum_instructions < 1:
+        raise ValueError("quantum must be >= 1 instruction")
+    cursors = [iter(trace) for trace in traces]
+    pending: List[TraceRecord | None] = [None] * len(traces)
+    live = set(range(len(traces)))
+    merged: List[TraceRecord] = []
+
+    def pull(index: int):
+        if pending[index] is not None:
+            record, pending[index] = pending[index], None
+            return record
+        try:
+            return next(cursors[index])
+        except StopIteration:
+            live.discard(index)
+            return None
+
+    turn = 0
+    while live:
+        index = turn % len(traces)
+        turn += 1
+        if index not in live:
+            continue
+        budget = quantum_instructions
+        while budget > 0:
+            record = pull(index)
+            if record is None:
+                break
+            cost = record.gap + 1
+            if cost > budget and merged and budget < cost:
+                # Does not fit this quantum: save it for the next turn.
+                pending[index] = record
+                break
+            merged.append(record)
+            budget -= cost
+    return merged

@@ -1,0 +1,42 @@
+"""Figure 3 regenerator: each access scheme exhibits its property."""
+
+from repro.analysis.figure3 import (
+    backgrounded_write,
+    check_figure3,
+    multi_activation,
+    partial_activation,
+    render_figure3,
+    run_figure3,
+)
+
+
+class TestScenarios:
+    def test_partial_activation_senses_one_slice(self):
+        scenario = partial_activation()
+        assert scenario.stats.senses == 1
+        assert scenario.stats.sense_bits == 512 * 8
+
+    def test_multi_activation_overlaps(self):
+        scenario = multi_activation()
+        assert scenario.stats.multi_activation_senses == 1
+        assert scenario.overlaps()["multi_activation"] > 0
+
+    def test_backgrounded_write_serves_a_read(self):
+        scenario = backgrounded_write()
+        assert scenario.stats.reads_under_write == 1
+        assert scenario.overlaps()["read_under_write"] > 0
+
+    def test_all_checks_pass(self):
+        assert check_figure3(run_figure3()) == []
+
+    def test_render_shows_three_panels(self):
+        text = render_figure3(run_figure3())
+        for panel in ("Partial-Activation", "Multi-Activation",
+                      "Backgrounded Write"):
+            assert panel in text
+        assert "SAG0/CD0" in text
+
+    def test_scenarios_are_deterministic(self):
+        first = render_figure3(run_figure3())
+        second = render_figure3(run_figure3())
+        assert first == second

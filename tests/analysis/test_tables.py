@@ -1,0 +1,48 @@
+"""Table 1 and Table 2 regenerators reproduce the paper's values."""
+
+from repro.analysis.table1 import (
+    PAPER_VALUES,
+    check_table1,
+    render_table1,
+    run_table1,
+)
+from repro.analysis.table2 import check_table2, configured_rows, render_table2
+
+
+class TestTable1:
+    def test_no_mismatches_against_paper(self):
+        assert check_table1(run_table1()) == []
+
+    def test_measured_keys_cover_paper_rows(self):
+        measured = run_table1().measured()
+        assert set(measured) == set(PAPER_VALUES)
+
+    def test_render_mentions_each_component(self):
+        text = render_table1(run_table1())
+        for label in ("Row decoder", "Row latches", "CSL latches",
+                      "LY-SEL", "Total"):
+            assert label in text
+
+    def test_decoder_split_is_reported_negligible(self):
+        result = run_table1()
+        assert result.decoder_overhead_avg < 0.05
+        assert result.decoder_overhead_max < 0.05
+
+    def test_check_flags_a_wrong_model(self):
+        from repro.core.area import AreaModel
+        bogus = run_table1(AreaModel(row_latch_um2_per_bit=1000.0))
+        assert check_table1(bogus)
+
+
+class TestTable2:
+    def test_configured_matches_paper(self):
+        assert check_table2() == []
+
+    def test_render_has_three_columns(self):
+        text = render_table2()
+        assert "configured" in text and "paper" in text
+        assert "tWP" in text and "150 ns" in text
+
+    def test_configured_rows_complete(self):
+        rows = configured_rows()
+        assert len(rows) == 15

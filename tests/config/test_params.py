@@ -1,0 +1,93 @@
+"""Configuration dataclasses: conversions, derived geometry, copying."""
+
+import pytest
+
+from repro.config.params import (
+    BankArchitecture,
+    OrgParams,
+    SystemConfig,
+    TimingParams,
+    override_nested,
+)
+from repro.errors import ConfigError
+
+
+class TestTimingParams:
+    def test_table2_defaults_convert_to_expected_cycles(self):
+        cyc = TimingParams().cycles()
+        assert cyc.trcd == 10
+        assert cyc.tcas == 38
+        assert cyc.tras == 0
+        assert cyc.trp == 0
+        assert cyc.tccd == 4
+        assert cyc.tburst == 4
+        assert cyc.tcwd == 3
+        assert cyc.twp == 60
+        assert cyc.twr == 3
+
+    def test_hit_latency_cheaper_than_sense(self):
+        cyc = TimingParams().cycles()
+        assert cyc.tcas_hit < cyc.tcas
+
+    def test_derived_latencies(self):
+        cyc = TimingParams().cycles()
+        assert cyc.read_miss_latency == 10 + 38 + 4
+        assert cyc.write_occupancy == 3 + 60 + 3
+
+    def test_alternate_clock(self):
+        cyc = TimingParams(tck_ns=1.25).cycles()
+        assert cyc.trcd == 20
+        assert cyc.tcas == 76
+
+
+class TestOrgParams:
+    def test_derived_geometry(self):
+        org = OrgParams()
+        assert org.columns_per_row == 16
+        assert org.rows_per_sag == 32768 // 4
+        assert org.columns_per_cd == 4
+        assert org.total_banks == 8
+        assert org.cd_span == 1
+        assert org.bytes_per_cd == 256
+
+    def test_fine_grid_spans_cache_lines(self):
+        org = OrgParams(column_divisions=32)
+        assert org.cd_span == 2
+        assert org.columns_per_cd == 1
+        assert org.bytes_per_cd == 32
+
+    def test_capacity(self):
+        org = OrgParams(rows_per_bank=1024)
+        assert org.capacity_bytes == 8 * 1024 * 1024
+
+
+class TestSystemConfigCopy:
+    def test_copy_is_deep_for_nested_sections(self):
+        cfg = SystemConfig()
+        dup = cfg.copy()
+        dup.org.column_divisions = 32
+        dup.timing.trcd_ns = 99.0
+        assert cfg.org.column_divisions == 4
+        assert cfg.timing.trcd_ns == 25.0
+
+    def test_copy_rejects_unknown_field(self):
+        with pytest.raises(ConfigError):
+            SystemConfig().copy(bogus=1)
+
+    def test_override_nested(self):
+        cfg = SystemConfig()
+        dup = override_nested(cfg, "controller.issue_width", 4)
+        assert dup.controller.issue_width == 4
+        assert cfg.controller.issue_width == 1
+
+    def test_override_nested_rejects_bad_path(self):
+        with pytest.raises(ConfigError):
+            override_nested(SystemConfig(), "org.nonsense", 1)
+        with pytest.raises(ConfigError):
+            override_nested(SystemConfig(), "nonsense.field", 1)
+
+    def test_describe_mentions_key_facts(self):
+        info = SystemConfig().describe()
+        assert info["architecture"] == BankArchitecture.FGNVM.value
+        assert "4 SAGs x 4 CDs" in info["subdivision"]
+        assert "tCAS=38cy" in info["timings"]

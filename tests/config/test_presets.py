@@ -1,0 +1,103 @@
+"""Preset configurations mirror the paper's evaluation setup."""
+
+import pytest
+
+from repro.config import (
+    BankArchitecture,
+    SchedulerKind,
+    all_presets,
+    baseline_nvm,
+    fgnvm,
+    fgnvm_multi_issue,
+    figure4_configs,
+    figure5_configs,
+    many_banks,
+    validate_config,
+)
+
+
+class TestTable2Values:
+    def test_timing_matches_table2(self):
+        cfg = fgnvm()
+        assert cfg.timing.trcd_ns == 25.0
+        assert cfg.timing.tcas_ns == 95.0
+        assert cfg.timing.twp_ns == 150.0
+        assert cfg.timing.tcwd_ns == 7.5
+        assert cfg.timing.twr_ns == 7.5
+        assert cfg.timing.tccd_cycles == 4
+        assert cfg.timing.tburst_cycles == 4
+
+    def test_controller_matches_table2(self):
+        cfg = fgnvm()
+        assert cfg.controller.scheduler is SchedulerKind.FRFCFS
+        assert cfg.controller.read_queue_entries == 32
+        assert cfg.controller.write_queue_entries == 64
+
+    def test_default_subdivision_is_4x4(self):
+        cfg = fgnvm()
+        assert cfg.org.subarray_groups == 4
+        assert cfg.org.column_divisions == 4
+
+
+class TestArchitecturePresets:
+    def test_baseline_is_unsubdivided(self):
+        cfg = baseline_nvm()
+        assert cfg.org.architecture is BankArchitecture.BASELINE
+        assert cfg.org.subarray_groups == 1
+        assert cfg.org.column_divisions == 1
+        assert not cfg.controller.eager_writes
+
+    def test_fgnvm_uses_augmented_frfcfs(self):
+        cfg = fgnvm(8, 2)
+        assert cfg.controller.eager_writes
+        assert cfg.controller.max_writes_per_bank == 1
+
+    def test_many_banks_unit_count_is_128(self):
+        cfg = many_banks(8, 2)
+        assert cfg.org.architecture is BankArchitecture.MANY_BANKS
+        units = (
+            cfg.org.banks_per_rank
+            * cfg.org.subarray_groups
+            * cfg.org.column_divisions
+        )
+        assert units == 128
+        assert "128" in cfg.name
+
+    def test_multi_issue_widens_buses(self):
+        cfg = fgnvm_multi_issue(8, 2)
+        assert cfg.controller.scheduler is SchedulerKind.FRFCFS_MULTI_ISSUE
+        assert cfg.controller.issue_width > 1
+        assert cfg.controller.data_bus_width > 1
+        assert cfg.controller.eager_writes
+
+
+class TestFigureConfigSets:
+    def test_figure4_has_four_systems(self):
+        configs = figure4_configs()
+        assert set(configs) == {
+            "baseline", "fgnvm", "128-banks", "fgnvm-multi-issue"
+        }
+        assert configs["fgnvm"].org.subarray_groups == 8
+        assert configs["fgnvm"].org.column_divisions == 2
+
+    def test_figure5_sweeps_column_divisions(self):
+        configs = figure5_configs()
+        assert configs["8x2"].org.column_divisions == 2
+        assert configs["8x8"].org.column_divisions == 8
+        assert configs["8x32"].org.column_divisions == 32
+        for label in ("8x2", "8x8", "8x32"):
+            assert configs[label].org.subarray_groups == 8
+
+    def test_8x32_lines_span_two_cds(self):
+        cfg = figure5_configs()["8x32"]
+        assert cfg.org.cd_span == 2
+        assert cfg.org.bytes_per_cd == 32
+
+    def test_names_are_unique(self):
+        names = [cfg.name for cfg in all_presets()]
+        assert len(names) == len(set(names))
+
+
+@pytest.mark.parametrize("cfg", all_presets(), ids=lambda c: c.name)
+def test_every_preset_validates(cfg):
+    assert validate_config(cfg) is cfg

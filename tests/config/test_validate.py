@@ -1,0 +1,116 @@
+"""Every validation rule trips on the malformed config it targets."""
+
+import pytest
+
+from repro.config import SystemConfig, validate_config, validation_errors
+from repro.config.params import BankArchitecture, SchedulerKind
+from repro.errors import ConfigError
+
+
+def broken(mutate):
+    cfg = SystemConfig()
+    mutate(cfg)
+    return cfg
+
+
+class TestGeometryRules:
+    def test_valid_default_has_no_errors(self):
+        assert validation_errors(SystemConfig()) == []
+
+    @pytest.mark.parametrize("field,value", [
+        ("channels", 3),
+        ("ranks_per_channel", 0),
+        ("banks_per_rank", 12),
+        ("rows_per_bank", 1000),
+        ("row_size_bytes", 1000),
+        ("cacheline_bytes", 48),
+        ("subarray_groups", 3),
+        ("column_divisions", 5),
+    ])
+    def test_power_of_two_fields(self, field, value):
+        cfg = broken(lambda c: setattr(c.org, field, value))
+        assert any(field in e for e in validation_errors(cfg))
+
+    def test_cds_must_divide_row(self):
+        def mutate(c):
+            c.org.row_size_bytes = 1024
+            c.org.column_divisions = 2048
+        errors = validation_errors(broken(mutate))
+        assert any("column_divisions" in e for e in errors)
+
+    def test_many_banks_rejects_sub_line_units(self):
+        def mutate(c):
+            c.org.architecture = BankArchitecture.MANY_BANKS
+            c.org.column_divisions = 32  # 16 lines per row -> 0.5 lines/unit
+        errors = validation_errors(broken(mutate))
+        assert any("MANY_BANKS" in e for e in errors)
+
+    def test_too_many_sags(self):
+        def mutate(c):
+            c.org.rows_per_bank = 4
+            c.org.subarray_groups = 8
+        errors = validation_errors(broken(mutate))
+        assert any("subarray_groups" in e for e in errors)
+
+
+class TestControllerRules:
+    def test_watermark_ordering(self):
+        def mutate(c):
+            c.controller.write_low_watermark = 50
+            c.controller.write_high_watermark = 40
+        errors = validation_errors(broken(mutate))
+        assert any("watermark" in e for e in errors)
+
+    def test_watermark_above_capacity(self):
+        def mutate(c):
+            c.controller.write_high_watermark = 100
+        errors = validation_errors(broken(mutate))
+        assert any("watermark" in e for e in errors)
+
+    def test_multi_issue_widths_need_multi_issue_scheduler(self):
+        def mutate(c):
+            c.controller.issue_width = 4
+        errors = validation_errors(broken(mutate))
+        assert any("multi-issue" in e for e in errors)
+
+    def test_multi_issue_scheduler_accepts_widths(self):
+        def mutate(c):
+            c.controller.scheduler = SchedulerKind.FRFCFS_MULTI_ISSUE
+            c.controller.issue_width = 4
+            c.controller.data_bus_width = 4
+        assert validation_errors(broken(mutate)) == []
+
+    @pytest.mark.parametrize("field", [
+        "read_queue_entries", "write_queue_entries", "issue_width",
+    ])
+    def test_positive_controller_fields(self, field):
+        cfg = broken(lambda c: setattr(c.controller, field, 0))
+        assert validation_errors(cfg)
+
+
+class TestCpuAndSimRules:
+    @pytest.mark.parametrize("field", [
+        "rob_entries", "retire_width", "mshr_entries",
+    ])
+    def test_positive_cpu_fields(self, field):
+        cfg = broken(lambda c: setattr(c.cpu, field, 0))
+        assert any("cpu" in e for e in validation_errors(cfg))
+
+    def test_sim_limits_positive(self):
+        cfg = broken(lambda c: setattr(c.sim, "max_cycles", 0))
+        assert any("max_cycles" in e for e in validation_errors(cfg))
+
+    def test_bad_clock(self):
+        cfg = broken(lambda c: setattr(c.timing, "tck_ns", -1.0))
+        assert validation_errors(cfg)
+
+
+def test_validate_config_raises_with_all_problems():
+    cfg = SystemConfig()
+    cfg.org.channels = 3
+    cfg.cpu.rob_entries = 0
+    with pytest.raises(ConfigError) as excinfo:
+        validate_config(cfg)
+    message = str(excinfo.value)
+    assert "channels" in message
+    assert "rob_entries" in message

@@ -1,0 +1,110 @@
+"""Pure access-mode legality rules (paper Section 4)."""
+
+import pytest
+
+from repro.core.access_modes import (
+    accessible_fraction_during_write,
+    available_tiles_during,
+    classify_read,
+    max_parallel_accesses,
+    multi_activation_legal,
+    partial_activation_sensed_bytes,
+    tiles_conflict,
+)
+
+
+class TestTileConflicts:
+    def test_disjoint_tiles_do_not_conflict(self):
+        assert not tiles_conflict((0, 0), (1, 1))
+        assert not tiles_conflict((3, 7), (2, 5))
+
+    def test_shared_sag_conflicts(self):
+        assert tiles_conflict((2, 0), (2, 5))
+
+    def test_shared_cd_conflicts(self):
+        assert tiles_conflict((0, 3), (7, 3))
+
+    def test_same_tile_conflicts(self):
+        assert tiles_conflict((1, 1), (1, 1))
+
+
+class TestMultiActivationLegality:
+    def test_permutation_sets_are_legal(self):
+        assert multi_activation_legal([(0, 0), (1, 1), (2, 2)])
+        assert multi_activation_legal([(0, 3), (1, 0), (2, 2)])
+
+    def test_repeated_sag_illegal(self):
+        assert not multi_activation_legal([(0, 0), (0, 1)])
+
+    def test_repeated_cd_illegal(self):
+        assert not multi_activation_legal([(0, 0), (1, 0)])
+
+    def test_empty_and_singleton_are_legal(self):
+        assert multi_activation_legal([])
+        assert multi_activation_legal([(5, 5)])
+
+    def test_consistent_with_pairwise_conflicts(self):
+        tiles = [(0, 1), (1, 2), (2, 0)]
+        pairwise_ok = all(
+            not tiles_conflict(a, b)
+            for i, a in enumerate(tiles)
+            for b in tiles[i + 1:]
+        )
+        assert multi_activation_legal(tiles) == pairwise_ok
+
+
+class TestCapacityFormulas:
+    def test_max_parallel_is_short_axis(self):
+        assert max_parallel_accesses(8, 2) == 2
+        assert max_parallel_accesses(4, 4) == 4
+        assert max_parallel_accesses(32, 32) == 32
+
+    def test_paper_availability_example(self):
+        # "for a 32x32 tile bank, the remaining 31x31 tiles are still
+        # available ... approximately 93.8% of data" (Section 4).
+        assert accessible_fraction_during_write(32, 32) == pytest.approx(
+            0.938, abs=5e-4
+        )
+        assert len(available_tiles_during([(0, 0)], 32, 32)) == 961
+
+    def test_available_tiles_respect_both_axes(self):
+        avail = available_tiles_during([(0, 0), (1, 1)], 4, 4)
+        assert (2, 2) in avail and (3, 3) in avail
+        assert all(sag not in (0, 1) and cd not in (0, 1)
+                   for sag, cd in avail)
+        assert len(avail) == 4
+
+    def test_small_bank_write_blocks_heavily(self):
+        # The 2x2 example from Figure 3(c): one write leaves one tile.
+        assert accessible_fraction_during_write(2, 2) == pytest.approx(0.25)
+
+
+class TestSensedBytes:
+    def test_figure5_accounting(self):
+        # 1KB baseline row: 512B @2 CDs, 128B @8, 32B @32 (Section 6).
+        assert partial_activation_sensed_bytes(1024, 1) == 1024
+        assert partial_activation_sensed_bytes(1024, 2) == 512
+        assert partial_activation_sensed_bytes(1024, 8) == 128
+        assert partial_activation_sensed_bytes(1024, 32) == 32
+
+    def test_rejects_non_dividing_cds(self):
+        with pytest.raises(ValueError):
+            partial_activation_sensed_bytes(1024, 3)
+        with pytest.raises(ValueError):
+            partial_activation_sensed_bytes(1024, 0)
+
+
+class TestClassifyRead:
+    def test_buffered_hit(self):
+        assert classify_read(5, (0, 5), sag=0, row=5) == "row_hit"
+
+    def test_open_row_not_buffered_is_underfetch(self):
+        assert classify_read(5, None, sag=0, row=5) == "underfetch"
+        assert classify_read(5, (0, 9), sag=0, row=5) == "underfetch"
+
+    def test_closed_row_is_miss(self):
+        assert classify_read(None, None, sag=0, row=5) == "row_miss"
+        assert classify_read(4, (0, 4), sag=0, row=5) == "row_miss"
+
+    def test_tag_must_match_sag_too(self):
+        assert classify_read(5, (1, 5), sag=0, row=5) == "underfetch"

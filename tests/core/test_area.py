@@ -1,0 +1,119 @@
+"""Area model: Table 1 anchors, scaling laws, decoder estimate."""
+
+import pytest
+
+from repro.core.area import (
+    AreaModel,
+    REFERENCE_BANK_AREA_MM2,
+    table1_reports,
+)
+from repro.units import um2_to_mm2
+
+
+@pytest.fixture
+def model():
+    return AreaModel()
+
+
+class TestTable1Anchors:
+    def test_row_latches_avg(self, model):
+        assert model.row_latches_um2(8) == pytest.approx(2325.0)
+
+    def test_row_latches_max(self, model):
+        # Paper rounds to 9,333; pure SAG-linearity gives 4 x 2325.
+        assert model.row_latches_um2(32) == pytest.approx(9333.0, rel=0.01)
+
+    def test_csl_latches_avg_and_max(self, model):
+        assert model.csl_latches_um2(8, 8) == pytest.approx(636.3)
+        assert model.csl_latches_um2(32, 32) == pytest.approx(4242.0)
+
+    def test_lysel_best_case_is_free(self, model):
+        assert model.lysel_wires_um2(32, 32, worst=False) == 0.0
+
+    def test_lysel_worst_case_near_tenth_mm2(self, model):
+        worst = model.lysel_wires_um2(32, 32, worst=True)
+        assert um2_to_mm2(worst) == pytest.approx(0.1, rel=0.05)
+
+    def test_enable_bus_width_matches_paper(self, model):
+        # "32 subarray groups and 32 column divisions results in an
+        # enable signal bus width of 246um".
+        assert model.enable_bus_width_um(32, 32) == pytest.approx(
+            246.0, rel=0.01
+        )
+
+    def test_totals(self):
+        avg, mx = table1_reports()
+        assert avg.total_best_um2 == pytest.approx(2961.0, rel=0.01)
+        assert um2_to_mm2(mx.total_worst_um2) == pytest.approx(0.11, rel=0.05)
+
+    def test_percentages(self):
+        avg, mx = table1_reports()
+        assert avg.percent_of_bank(worst=False) < 0.1
+        assert mx.percent_of_bank(worst=True) == pytest.approx(0.36, rel=0.05)
+
+
+class TestScalingLaws:
+    def test_row_latches_linear_in_sags(self, model):
+        assert model.row_latches_um2(16) == pytest.approx(
+            2 * model.row_latches_um2(8)
+        )
+
+    def test_csl_latches_scale_with_cds_and_log_sags(self, model):
+        # CDs double -> double; SAGs 8->16 adds one select bit (4/3).
+        assert model.csl_latches_um2(8, 16) == pytest.approx(
+            2 * model.csl_latches_um2(8, 8)
+        )
+        assert model.csl_latches_um2(16, 8) == pytest.approx(
+            (4 / 3) * model.csl_latches_um2(8, 8)
+        )
+
+    def test_wire_area_linear_in_tiles(self, model):
+        quad = model.lysel_wires_um2(16, 16, worst=True)
+        assert model.lysel_wires_um2(32, 32, worst=True) == pytest.approx(
+            4 * quad
+        )
+
+    def test_report_is_consistent(self, model):
+        report = model.report(8, 8)
+        assert report.total_best_um2 == pytest.approx(
+            report.row_latches_um2 + report.csl_latches_um2
+        )
+        assert report.total_worst_um2 >= report.total_best_um2
+
+
+class TestDecoderModel:
+    def test_grows_superlinearly(self, model):
+        small = model.decoder_transistors(1024)
+        large = model.decoder_transistors(65536)
+        assert large > 64 * small / 2  # clearly super-constant per row
+
+    def test_split_overhead_is_negligible(self, model):
+        # The paper reports N/A: splitting is at worst a few percent and
+        # typically *saves* transistors (smaller decode fan-in).
+        for sags in (2, 8, 32):
+            overhead = model.split_decoder_overhead(65536, sags)
+            assert overhead < 0.05
+
+    def test_rejects_non_power_rows(self, model):
+        with pytest.raises(ValueError):
+            model.decoder_transistors(1000)
+
+
+class TestParameterValidation:
+    def test_rejects_bad_row_bits(self):
+        with pytest.raises(ValueError):
+            AreaModel(row_address_bits=0)
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            AreaModel(over_tile_fraction=1.5)
+
+    def test_csl_requires_power_of_two_sags(self, model):
+        with pytest.raises(ValueError):
+            model.csl_latches_um2(6, 8)
+
+    def test_reference_area_is_calibrated(self):
+        # 0.11 mm^2 == 0.36% fixes the reference near 31 mm^2.
+        assert REFERENCE_BANK_AREA_MM2 == pytest.approx(
+            0.112 / 0.0036, rel=0.05
+        )

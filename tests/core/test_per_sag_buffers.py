@@ -1,0 +1,109 @@
+"""The per-SAG row-buffer extension (beyond the paper, MASA-style)."""
+
+import pytest
+
+from repro.config import fgnvm, fgnvm_per_sag_buffers
+from repro.core.area import AreaModel
+from repro.core.fgnvm_bank import make_fgnvm_bank
+from repro.memsys.address import AddressMapper
+from repro.memsys.request import (
+    SERVICE_ROW_HIT,
+    SERVICE_ROW_MISS,
+    SERVICE_UNDERFETCH,
+    MemRequest,
+    OpType,
+)
+from repro.memsys.stats import StatsCollector
+from repro.sim.simulator import simulate
+from repro.workloads.synthetic import multi_stream_kernel
+
+
+def build(per_sag):
+    cfg = fgnvm(4, 4)
+    cfg.org.rows_per_bank = 256
+    cfg.org.per_sag_row_buffers = per_sag
+    stats = StatsCollector()
+    bank = make_fgnvm_bank(0, cfg.org, cfg.timing.cycles(), stats)
+    return bank, AddressMapper(cfg.org), stats
+
+
+def read_at(mapper, sag, cd, row_in_sag=0):
+    row = sag * 64 + row_in_sag
+    req = MemRequest(OpType.READ, mapper.encode(row=row, col=cd * 4))
+    req.decoded = mapper.decode(req.address)
+    return req
+
+
+class TestRetentionSemantics:
+    def cross_sag_sequence(self, bank, mapper):
+        """Sense (sag0, cd0), then (sag1, cd0), then re-read sag0."""
+        first = read_at(mapper, sag=0, cd=0)
+        bank.issue(first, bank.earliest_start(first, 0))
+        second = read_at(mapper, sag=1, cd=0)
+        bank.issue(second, bank.earliest_start(second, 100))
+        return read_at(mapper, sag=0, cd=0)
+
+    def test_shared_buffer_evicts_across_sags(self):
+        bank, mapper, _ = build(per_sag=False)
+        revisit = self.cross_sag_sequence(bank, mapper)
+        # sag1's sense overwrote the shared CD slice: re-sense needed.
+        assert bank.classify(revisit) == SERVICE_UNDERFETCH
+
+    def test_per_sag_buffer_retains_across_sags(self):
+        bank, mapper, _ = build(per_sag=True)
+        revisit = self.cross_sag_sequence(bank, mapper)
+        assert bank.classify(revisit) == SERVICE_ROW_HIT
+
+    def test_row_change_within_sag_still_misses(self):
+        bank, mapper, _ = build(per_sag=True)
+        first = read_at(mapper, sag=0, cd=0, row_in_sag=0)
+        bank.issue(first, 0)
+        other_row = read_at(mapper, sag=0, cd=0, row_in_sag=1)
+        assert bank.classify(other_row) == SERVICE_ROW_MISS
+
+    def test_write_updates_the_sag_buffer(self):
+        bank, mapper, _ = build(per_sag=True)
+        write = read_at(mapper, sag=2, cd=1)
+        wreq = MemRequest(OpType.WRITE, write.address)
+        wreq.decoded = write.decoded
+        bank.issue(wreq, 0)
+        assert bank.classify(read_at(mapper, sag=2, cd=1)) == SERVICE_ROW_HIT
+
+
+class TestSystemLevel:
+    def test_hit_rate_never_drops(self):
+        trace = multi_stream_kernel(
+            600, streams=8, gap=3, stream_spacing_bytes=(1 << 20) + 128,
+        )
+        plain_cfg = fgnvm(8, 2)
+        plain_cfg.org.rows_per_bank = 1024
+        sag_cfg = fgnvm_per_sag_buffers(8, 2)
+        sag_cfg.org.rows_per_bank = 1024
+        plain = simulate(plain_cfg, trace)
+        extended = simulate(sag_cfg, trace)
+        assert extended.stats.row_hit_rate >= plain.stats.row_hit_rate
+        assert extended.ipc >= plain.ipc * 0.99
+
+    def test_preset_flag(self):
+        cfg = fgnvm_per_sag_buffers(8, 2)
+        assert cfg.org.per_sag_row_buffers
+        assert "sagbuf" in cfg.name
+
+
+class TestAreaCost:
+    def test_extension_cost_dwarfs_table1(self):
+        model = AreaModel()
+        extension = model.per_sag_buffer_um2(8, row_size_bytes=1024)
+        table1_total = model.report(8, 8).total_best_um2
+        assert extension > 5 * table1_total  # why the paper shares one
+
+    def test_cost_scales_with_sags(self):
+        model = AreaModel()
+        assert model.per_sag_buffer_um2(1) == 0.0
+        assert model.per_sag_buffer_um2(16) == pytest.approx(
+            (15 / 7) * model.per_sag_buffer_um2(8)
+        )
+
+    def test_rejects_bad_sags(self):
+        with pytest.raises(ValueError):
+            AreaModel().per_sag_buffer_um2(0)

@@ -1,0 +1,53 @@
+"""Sense-time scaling model behind the single-tCAS assumption."""
+
+import pytest
+
+from repro.core.sense_scaling import (
+    REFERENCE_ROWS,
+    REFERENCE_TCAS_NS,
+    is_sublinear,
+    max_spread_fraction,
+    sense_time_ns,
+    tcas_for_tile_heights,
+)
+
+
+class TestCalibration:
+    def test_reference_point_is_exact(self):
+        assert sense_time_ns(REFERENCE_ROWS) == pytest.approx(
+            REFERENCE_TCAS_NS
+        )
+
+    def test_monotone_in_rows(self):
+        times = [sense_time_ns(r) for r in (256, 512, 1024, 2048, 4096)]
+        assert times == sorted(times)
+
+    def test_rejects_bad_rows(self):
+        with pytest.raises(ValueError):
+            sense_time_ns(0)
+
+
+class TestSublinearity:
+    @pytest.mark.parametrize("a,b", [(512, 1024), (1024, 4096), (512, 4096)])
+    def test_doubling_less_than_doubles(self, a, b):
+        assert is_sublinear(a, b)
+
+    def test_requires_increasing_pair(self):
+        with pytest.raises(ValueError):
+            is_sublinear(2048, 1024)
+
+
+class TestTileRange:
+    def test_realistic_range_stays_near_reference(self):
+        # The paper simulates one tCAS across 512..4K-row tiles; the
+        # model keeps the whole range within ~25% of the reference.
+        assert max_spread_fraction() < 0.25
+
+    def test_table_covers_requested_heights(self):
+        table = tcas_for_tile_heights((512, 2048))
+        assert set(table) == {512, 2048}
+        assert table[2048] == pytest.approx(REFERENCE_TCAS_NS)
+
+    def test_rejects_non_power_heights(self):
+        with pytest.raises(ValueError):
+            tcas_for_tile_heights((1000,))

@@ -1,0 +1,103 @@
+"""Reorder-buffer fill and in-order retirement."""
+
+import pytest
+
+from repro.cpu.rob import ReorderBuffer
+from repro.memsys.request import MemRequest, OpType
+
+
+def pending_load():
+    return MemRequest(OpType.READ, 0x40)
+
+
+def done_load():
+    req = pending_load()
+    req.mark_queued(0)
+    req.mark_issued(0, 10, "row_miss")
+    req.mark_completed()
+    return req
+
+
+class TestFill:
+    def test_instruction_chunks_merge(self):
+        rob = ReorderBuffer(100)
+        assert rob.push_instructions(30) == 30
+        assert rob.push_instructions(20) == 20
+        assert rob.occupancy == 50
+
+    def test_capacity_clips_fill(self):
+        rob = ReorderBuffer(10)
+        assert rob.push_instructions(25) == 10
+        assert rob.push_instructions(5) == 0
+        assert rob.free_slots == 0
+
+    def test_load_occupies_one_slot(self):
+        rob = ReorderBuffer(2)
+        assert rob.push_load(pending_load())
+        assert rob.push_load(pending_load())
+        assert not rob.push_load(pending_load())
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            ReorderBuffer(0)
+
+
+class TestRetire:
+    def test_retires_up_to_budget(self):
+        rob = ReorderBuffer(100)
+        rob.push_instructions(50)
+        assert rob.retire(20) == 20
+        assert rob.occupancy == 30
+
+    def test_pending_load_blocks_head(self):
+        rob = ReorderBuffer(100)
+        rob.push_instructions(5)
+        rob.push_load(pending_load())
+        rob.push_instructions(5)
+        assert rob.retire(100) == 5
+        assert rob.head_blocked()
+        assert rob.occupancy == 6
+
+    def test_completed_load_retires(self):
+        rob = ReorderBuffer(100)
+        load = done_load()
+        rob.push_load(load)
+        rob.push_instructions(3)
+        assert rob.retire(100) == 4
+        assert rob.is_empty
+
+    def test_load_completion_unblocks(self):
+        rob = ReorderBuffer(100)
+        load = pending_load()
+        rob.push_load(load)
+        assert rob.retire(10) == 0
+        load.mark_queued(0)
+        load.mark_issued(0, 5, "row_hit")
+        load.mark_completed()
+        assert rob.retire(10) == 1
+
+    def test_in_order_across_mixed_entries(self):
+        rob = ReorderBuffer(100)
+        rob.push_instructions(2)
+        first = done_load()
+        rob.push_load(first)
+        blocked = pending_load()
+        rob.push_load(blocked)
+        rob.push_instructions(4)
+        # 2 instructions + completed load retire; blocked load stops us.
+        assert rob.retire(100) == 3
+        assert rob.head_request() is blocked
+
+
+class TestQueries:
+    def test_head_blocked_false_for_instructions(self):
+        rob = ReorderBuffer(10)
+        rob.push_instructions(3)
+        assert not rob.head_blocked()
+        assert rob.head_request() is None
+
+    def test_empty_rob(self):
+        rob = ReorderBuffer(10)
+        assert rob.is_empty
+        assert not rob.head_blocked()
+        assert rob.retire(10) == 0

@@ -1,0 +1,114 @@
+"""Baseline bank semantics and the many-banks factory."""
+
+import pytest
+
+from repro.config import baseline_nvm, fgnvm, many_banks
+from repro.memsys.address import AddressMapper
+from repro.memsys.bank_baseline import BaselineNvmBank, build_banks
+from repro.memsys.request import (
+    SERVICE_ROW_HIT,
+    SERVICE_ROW_MISS,
+    MemRequest,
+    OpType,
+)
+from repro.memsys.stats import StatsCollector
+
+MISS_BUSY = 48
+WRITE_BUSY = 66
+
+
+@pytest.fixture
+def setup():
+    cfg = baseline_nvm()
+    cfg.org.rows_per_bank = 256
+    stats = StatsCollector()
+    bank = BaselineNvmBank(
+        0, cfg.timing.cycles(), cfg.org.row_size_bytes,
+        cfg.org.cacheline_bytes, stats,
+    )
+    return bank, AddressMapper(cfg.org), stats
+
+
+def read(mapper, row=0, col=0):
+    req = MemRequest(OpType.READ, mapper.encode(row=row, col=col))
+    req.decoded = mapper.decode(req.address)
+    return req
+
+
+def write(mapper, row=0, col=0):
+    req = MemRequest(OpType.WRITE, mapper.encode(row=row, col=col))
+    req.decoded = mapper.decode(req.address)
+    return req
+
+
+class TestSingleOpenRow:
+    def test_full_row_buffered_after_one_miss(self, setup):
+        bank, mapper, _ = setup
+        bank.issue(read(mapper, row=3, col=0), 0)
+        for col in range(16):
+            assert bank.classify(read(mapper, row=3, col=col)) == (
+                SERVICE_ROW_HIT
+            )
+
+    def test_row_change_evicts(self, setup):
+        bank, mapper, _ = setup
+        bank.issue(read(mapper, row=3), 0)
+        req = read(mapper, row=4)
+        assert bank.classify(req) == SERVICE_ROW_MISS
+        bank.issue(req, MISS_BUSY)
+        assert bank.classify(read(mapper, row=3)) == SERVICE_ROW_MISS
+
+    def test_full_row_sense_energy(self, setup):
+        bank, mapper, stats = setup
+        bank.issue(read(mapper), 0)
+        assert stats.sense_bits == 1024 * 8  # the whole 1KB row
+
+    def test_write_activation_senses_full_row(self, setup):
+        bank, mapper, stats = setup
+        bank.issue(write(mapper, row=7), 0)
+        assert stats.sense_bits == 1024 * 8
+        # ...and buffers it: subsequent reads to the row hit.
+        later = read(mapper, row=7, col=5)
+        assert bank.classify(later) == SERVICE_ROW_HIT
+
+
+class TestWriteBlocksBank:
+    def test_no_read_during_write(self, setup):
+        bank, mapper, _ = setup
+        bank.issue(write(mapper, row=1), 0)
+        blocked = read(mapper, row=1, col=9)
+        # Even a would-be row hit waits for the write pulse: the single
+        # CD's datapath is driving cells.
+        assert bank.earliest_start(blocked, 4) == 10 + WRITE_BUSY
+
+    def test_no_parallel_senses(self, setup):
+        bank, mapper, _ = setup
+        bank.issue(read(mapper, row=0), 0)
+        assert bank.earliest_start(read(mapper, row=9), 4) == MISS_BUSY
+
+
+class TestBuildBanks:
+    def test_baseline_count(self):
+        cfg = baseline_nvm()
+        stats = StatsCollector()
+        banks = build_banks(cfg.org, cfg.timing.cycles(), stats)
+        assert len(banks) == 8
+        assert all(b.subarray_groups == 1 for b in banks)
+
+    def test_fgnvm_grid(self):
+        cfg = fgnvm(8, 2)
+        banks = build_banks(cfg.org, cfg.timing.cycles(), StatsCollector())
+        assert len(banks) == 8
+        assert banks[0].subarray_groups == 8
+        assert banks[0].column_divisions == 2
+        assert banks[0].sense_bits == 512 * 8  # half the 1KB row
+
+    def test_many_banks_units(self):
+        cfg = many_banks(8, 2)
+        banks = build_banks(cfg.org, cfg.timing.cycles(), StatsCollector())
+        assert len(banks) == 128
+        # Each unit senses one CD slice's worth per activation.
+        assert banks[0].sense_bits == 512 * 8
+        assert banks[0].subarray_groups == 1
+        # Units follow the baseline protocol (ACT senses on writes too).
+        assert banks[0].sense_on_write_activate

@@ -1,0 +1,70 @@
+"""Data-placement policy ablations: interleaved vs contiguous SAG/CD."""
+
+import pytest
+
+from repro.config import fgnvm, validate_config, validation_errors
+from repro.memsys.address import AddressMapper
+
+
+def mapper_with(cd_interleaved=False, sag_interleaved=False):
+    cfg = fgnvm(4, 4)
+    cfg.org.rows_per_bank = 256
+    cfg.org.cd_interleaved = cd_interleaved
+    cfg.org.sag_interleaved = sag_interleaved
+    validate_config(cfg)
+    return AddressMapper(cfg.org)
+
+
+class TestCdPolicies:
+    def test_contiguous_groups_adjacent_lines(self):
+        mapper = mapper_with(cd_interleaved=False)
+        cds = [mapper.decode(mapper.encode(col=c)).cd for c in range(16)]
+        assert cds == [0] * 4 + [1] * 4 + [2] * 4 + [3] * 4
+
+    def test_interleaved_rotates_lines(self):
+        mapper = mapper_with(cd_interleaved=True)
+        cds = [mapper.decode(mapper.encode(col=c)).cd for c in range(16)]
+        assert cds == [0, 1, 2, 3] * 4
+
+    def test_interleaved_incompatible_with_sub_line_cds(self):
+        cfg = fgnvm(8, 32)
+        cfg.org.cd_interleaved = True
+        assert any(
+            "cd_interleaved" in e for e in validation_errors(cfg)
+        )
+
+
+class TestSagPolicies:
+    def test_contiguous_blocks(self):
+        mapper = mapper_with(sag_interleaved=False)
+        sags = [
+            mapper.decode(mapper.encode(row=r)).sag
+            for r in (0, 63, 64, 127, 128, 255)
+        ]
+        assert sags == [0, 0, 1, 1, 2, 3]
+
+    def test_interleaved_rotates_rows(self):
+        mapper = mapper_with(sag_interleaved=True)
+        sags = [mapper.decode(mapper.encode(row=r)).sag for r in range(8)]
+        assert sags == [0, 1, 2, 3, 0, 1, 2, 3]
+
+
+class TestPoliciesCompose:
+    @pytest.mark.parametrize("cd_i", [False, True])
+    @pytest.mark.parametrize("sag_i", [False, True])
+    def test_coordinates_stay_in_range(self, cd_i, sag_i):
+        mapper = mapper_with(cd_interleaved=cd_i, sag_interleaved=sag_i)
+        for address in range(0, 1 << 18, 64):
+            dec = mapper.decode(address)
+            assert 0 <= dec.sag < 4
+            assert 0 <= dec.cd < 4
+
+    def test_policies_change_the_mapping(self):
+        plain = mapper_with()
+        rotated = mapper_with(cd_interleaved=True, sag_interleaved=True)
+        diffs = sum(
+            1
+            for address in range(0, 1 << 16, 64)
+            if plain.decode(address) != rotated.decode(address)
+        )
+        assert diffs > 0

@@ -1,0 +1,51 @@
+"""Request lifecycle and operation parsing."""
+
+import pytest
+
+from repro.memsys.request import MemRequest, OpType, RequestState
+
+
+class TestOpType:
+    @pytest.mark.parametrize("token,expected", [
+        ("R", OpType.READ), ("W", OpType.WRITE),
+        ("r", OpType.READ), (" w ", OpType.WRITE),
+    ])
+    def test_token_parsing(self, token, expected):
+        assert OpType.from_token(token) is expected
+
+    def test_unknown_token_rejected(self):
+        with pytest.raises(ValueError):
+            OpType.from_token("X")
+
+
+class TestLifecycle:
+    def test_fresh_request_state(self):
+        req = MemRequest(OpType.READ, 0x1000)
+        assert req.state is RequestState.CREATED
+        assert req.is_read and not req.is_write
+
+    def test_ids_are_unique_and_increasing(self):
+        first = MemRequest(OpType.READ, 0)
+        second = MemRequest(OpType.WRITE, 0)
+        assert second.req_id > first.req_id
+
+    def test_full_lifecycle_and_latency(self):
+        req = MemRequest(OpType.READ, 0x40)
+        req.mark_queued(100)
+        assert req.state is RequestState.QUEUED
+        req.mark_issued(110, 160, "row_miss")
+        assert req.state is RequestState.ISSUED
+        assert req.service_kind == "row_miss"
+        req.mark_completed()
+        assert req.state is RequestState.COMPLETED
+        assert req.latency == 60
+
+    def test_latency_before_completion_is_an_error(self):
+        req = MemRequest(OpType.READ, 0x40)
+        with pytest.raises(ValueError):
+            _ = req.latency
+
+    def test_repr_mentions_op_and_address(self):
+        req = MemRequest(OpType.WRITE, 0xdead40)
+        text = repr(req)
+        assert "W" in text and "0xdead40" in text

@@ -1,0 +1,86 @@
+"""Statistics collection and derived metrics."""
+
+import pytest
+
+from repro.memsys.stats import LATENCY_BUCKETS, StatsCollector
+
+
+class TestCounting:
+    def test_read_kinds(self):
+        stats = StatsCollector()
+        stats.count_read_issue("row_hit")
+        stats.count_read_issue("underfetch")
+        stats.count_read_issue("row_miss")
+        stats.count_read_issue("row_miss")
+        assert stats.reads == 4
+        assert stats.row_hits == 1
+        assert stats.underfetches == 1
+        assert stats.row_misses == 2
+        assert stats.row_hit_rate == pytest.approx(0.25)
+        assert stats.underfetch_rate == pytest.approx(0.25)
+
+    def test_sense_and_overlap_counting(self):
+        stats = StatsCollector()
+        stats.count_sense(4096, overlapping_reads=0, overlapping_writes=0)
+        stats.count_sense(4096, overlapping_reads=2, overlapping_writes=0)
+        stats.count_sense(4096, overlapping_reads=0, overlapping_writes=1)
+        assert stats.senses == 3
+        assert stats.sense_bits == 3 * 4096
+        assert stats.multi_activation_senses == 1
+        assert stats.reads_under_write == 1
+
+    def test_write_counting(self):
+        stats = StatsCollector()
+        stats.count_write_issue(512, overlapping=0)
+        stats.count_write_issue(512, overlapping=3)
+        assert stats.writes == 2
+        assert stats.write_bits == 1024
+        assert stats.writes_overlapped == 1
+        assert stats.requests == 2
+
+
+class TestLatency:
+    def test_histogram_buckets(self):
+        stats = StatsCollector()
+        stats.count_read_latency(8)    # first bucket edge
+        stats.count_read_latency(9)    # second bucket
+        stats.count_read_latency(10**9)  # last catch-all bucket
+        assert stats.latency_histogram[0] == 1
+        assert stats.latency_histogram[1] == 1
+        assert stats.latency_histogram[-1] == 1
+        assert sum(stats.latency_histogram) == 3
+
+    def test_average_and_max(self):
+        stats = StatsCollector()
+        stats.reads = 2
+        stats.count_read_latency(10)
+        stats.count_read_latency(30)
+        assert stats.avg_read_latency == pytest.approx(20.0)
+        assert stats.read_latency_max == 30
+
+    def test_bucket_edges_are_increasing(self):
+        assert list(LATENCY_BUCKETS) == sorted(LATENCY_BUCKETS)
+
+
+class TestDerived:
+    def test_ipc(self):
+        stats = StatsCollector()
+        stats.instructions = 8000
+        stats.cycles = 1000
+        assert stats.ipc(cpu_cycles_per_mem_cycle=8.0) == pytest.approx(1.0)
+
+    def test_ipc_zero_cycles(self):
+        assert StatsCollector().ipc(8.0) == 0.0
+
+    def test_rates_with_no_reads(self):
+        stats = StatsCollector()
+        assert stats.row_hit_rate == 0.0
+        assert stats.avg_read_latency == 0.0
+
+    def test_as_dict_is_flat_and_complete(self):
+        stats = StatsCollector()
+        stats.count_read_issue("row_hit")
+        data = stats.as_dict()
+        for key in ("reads", "row_hit_rate", "sense_bits", "cycles"):
+            assert key in data
+        assert all(isinstance(v, (int, float)) for v in data.values())

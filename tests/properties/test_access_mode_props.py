@@ -1,0 +1,69 @@
+"""Property tests on the pure tile-conflict rules."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.access_modes import (
+    accessible_fraction_during_write,
+    available_tiles_during,
+    max_parallel_accesses,
+    multi_activation_legal,
+    tiles_conflict,
+)
+
+tiles = st.tuples(st.integers(0, 31), st.integers(0, 31))
+
+
+@given(a=tiles, b=tiles)
+@settings(max_examples=200, deadline=None)
+def test_conflict_is_symmetric(a, b):
+    assert tiles_conflict(a, b) == tiles_conflict(b, a)
+
+
+@given(a=tiles)
+def test_conflict_is_reflexive(a):
+    assert tiles_conflict(a, a)
+
+
+@given(group=st.lists(tiles, max_size=8))
+@settings(max_examples=200, deadline=None)
+def test_legality_equals_pairwise_nonconflict(group):
+    pairwise = all(
+        not tiles_conflict(group[i], group[j])
+        for i in range(len(group))
+        for j in range(i + 1, len(group))
+    )
+    assert multi_activation_legal(group) == pairwise
+
+
+@given(group=st.lists(tiles, max_size=8))
+@settings(max_examples=200, deadline=None)
+def test_legal_groups_respect_grid_bound(group):
+    if multi_activation_legal(group):
+        assert len(group) <= max_parallel_accesses(32, 32)
+
+
+@given(
+    busy=st.lists(tiles, max_size=4),
+    dims=st.sampled_from([(4, 4), (8, 2), (32, 32)]),
+)
+@settings(max_examples=100, deadline=None)
+def test_available_tiles_never_conflict_with_busy(busy, dims):
+    sags, cds = dims
+    busy = [(s % sags, c % cds) for s, c in busy]
+    for tile in available_tiles_during(busy, sags, cds):
+        for occupied in busy:
+            assert not tiles_conflict(tile, occupied)
+
+
+@given(
+    sags=st.integers(1, 64),
+    cds=st.integers(1, 64),
+)
+def test_accessible_fraction_bounds(sags, cds):
+    fraction = accessible_fraction_during_write(sags, cds)
+    assert 0.0 <= fraction < 1.0
+    # Consistency with the explicit enumeration.
+    assert fraction == len(available_tiles_during([(0, 0)], sags, cds)) / (
+        sags * cds
+    )

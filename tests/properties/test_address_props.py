@@ -1,0 +1,88 @@
+"""Property tests: address mapping is a bijection with sane coordinates."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import fgnvm, many_banks
+from repro.memsys.address import AddressMapper
+
+
+def mapper_for(sags, cds, many=False):
+    cfg = many_banks(sags, cds) if many else fgnvm(sags, cds)
+    cfg.org.rows_per_bank = 1024
+    return AddressMapper(cfg.org), cfg.org
+
+
+GRIDS = [(4, 4), (8, 2), (8, 8), (2, 8)]
+
+
+@pytest.mark.parametrize("sags,cds", GRIDS)
+@given(address=st.integers(min_value=0, max_value=(1 << 40) - 1))
+@settings(max_examples=50, deadline=None)
+def test_decode_fields_in_range(sags, cds, address):
+    mapper, org = mapper_for(sags, cds)
+    dec = mapper.decode(address)
+    assert 0 <= dec.channel < org.channels
+    assert 0 <= dec.rank < org.ranks_per_channel
+    assert 0 <= dec.bank < org.banks_per_rank
+    assert 0 <= dec.row < org.rows_per_bank
+    assert 0 <= dec.col < org.columns_per_row
+    assert 0 <= dec.sag < org.subarray_groups
+    assert 0 <= dec.cd < org.column_divisions
+    assert 0 <= dec.flat_bank < mapper.independent_banks()
+
+
+@pytest.mark.parametrize("sags,cds", GRIDS)
+@given(data=st.data())
+@settings(max_examples=50, deadline=None)
+def test_encode_decode_roundtrip(sags, cds, data):
+    mapper, org = mapper_for(sags, cds)
+    bank = data.draw(st.integers(0, org.banks_per_rank - 1))
+    row = data.draw(st.integers(0, org.rows_per_bank - 1))
+    col = data.draw(st.integers(0, org.columns_per_row - 1))
+    dec = mapper.decode(mapper.encode(bank=bank, row=row, col=col))
+    assert (dec.bank, dec.row, dec.col) == (bank, row, col)
+
+
+@given(address=st.integers(min_value=0, max_value=(1 << 40) - 1))
+@settings(max_examples=50, deadline=None)
+def test_decode_is_wrap_stable(address):
+    mapper, _ = mapper_for(4, 4)
+    a = mapper.decode(address)
+    b = mapper.decode(address + mapper.capacity_bytes)
+    assert a == b
+
+
+@given(data=st.data())
+@settings(max_examples=50, deadline=None)
+def test_many_banks_folding_is_injective(data):
+    mapper, org = mapper_for(4, 4, many=True)
+    coords = data.draw(st.lists(
+        st.tuples(
+            st.integers(0, org.banks_per_rank - 1),
+            st.integers(0, org.subarray_groups - 1),
+            st.integers(0, org.column_divisions - 1),
+        ),
+        min_size=2, max_size=8, unique=True,
+    ))
+    flats = set()
+    for bank, sag, cd in coords:
+        dec = mapper.decode(mapper.encode(
+            bank=bank,
+            row=sag * org.rows_per_sag,
+            col=cd * org.columns_per_cd,
+        ))
+        flats.add(dec.flat_bank)
+    assert len(flats) == len(coords)
+
+
+@given(col=st.integers(0, 15))
+@settings(max_examples=20, deadline=None)
+def test_cd_span_bases_are_aligned(col):
+    cfg = fgnvm(8, 32)
+    mapper = AddressMapper(cfg.org)
+    dec = mapper.decode(mapper.encode(col=col))
+    span = cfg.org.cd_span
+    assert dec.cd % span == 0
+    assert dec.cd // span == col

@@ -1,0 +1,130 @@
+"""Property tests: the FgNVM bank keeps its invariants under random use.
+
+A random, legally-scheduled stream of reads/writes must never violate:
+
+* issue-at-earliest-start always succeeds (no ProtocolError),
+* every sense/write holds disjoint CD resources (the grid enforces it
+  by raising on double-booking),
+* row hits never re-sense (sense count only grows on miss/underfetch),
+* the buffer tag always names the SAG's open row lineage.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import fgnvm
+from repro.core.fgnvm_bank import make_fgnvm_bank
+from repro.memsys.address import AddressMapper
+from repro.memsys.request import (
+    SERVICE_ROW_HIT,
+    MemRequest,
+    OpType,
+)
+from repro.memsys.stats import StatsCollector
+
+
+def build_bank(sags=4, cds=4):
+    cfg = fgnvm(sags, cds)
+    cfg.org.rows_per_bank = 64
+    stats = StatsCollector()
+    bank = make_fgnvm_bank(0, cfg.org, cfg.timing.cycles(), stats)
+    return bank, AddressMapper(cfg.org), stats
+
+
+operations = st.lists(
+    st.tuples(
+        st.booleans(),          # is_write
+        st.integers(0, 63),     # row
+        st.integers(0, 15),     # col
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+@given(ops=operations)
+@settings(max_examples=100, deadline=None)
+def test_random_streams_keep_invariants(ops):
+    bank, mapper, stats = build_bank()
+    now = 0
+    hits_before = 0
+    for is_write, row, col in ops:
+        op = OpType.WRITE if is_write else OpType.READ
+        req = MemRequest(op, mapper.encode(row=row, col=col))
+        req.decoded = mapper.decode(req.address)
+        kind_before = bank.classify(req)
+        start = bank.earliest_start(req, now)
+        assert start >= now
+        senses_before = stats.senses
+        result = bank.issue(req, start)  # must not raise
+        assert result.kind == kind_before
+        if kind_before == SERVICE_ROW_HIT and not is_write:
+            assert stats.senses == senses_before  # hits never sense
+            assert stats.row_hits > hits_before
+        hits_before = stats.row_hits
+        assert result.data_ready >= start
+        assert result.bus_desired_start >= start
+        now = start  # time never goes backwards
+
+
+@given(ops=operations)
+@settings(max_examples=60, deadline=None)
+def test_buffer_tags_point_at_plausible_rows(ops):
+    bank, mapper, stats = build_bank()
+    now = 0
+    touched_rows = set()
+    for is_write, row, col in ops:
+        op = OpType.WRITE if is_write else OpType.READ
+        req = MemRequest(op, mapper.encode(row=row, col=col))
+        req.decoded = mapper.decode(req.address)
+        touched_rows.add(req.decoded.row)
+        start = bank.earliest_start(req, now)
+        bank.issue(req, start)
+        now = start
+    for cd, tag in enumerate(bank.buffer_tag):
+        if tag is not None:
+            sag, tag_row = tag
+            assert tag_row in touched_rows
+            assert 0 <= sag < bank.subarray_groups
+
+
+@given(ops=operations)
+@settings(max_examples=60, deadline=None)
+def test_read_count_conservation(ops):
+    bank, mapper, stats = build_bank()
+    now = 0
+    reads = writes = 0
+    for is_write, row, col in ops:
+        op = OpType.WRITE if is_write else OpType.READ
+        req = MemRequest(op, mapper.encode(row=row, col=col))
+        req.decoded = mapper.decode(req.address)
+        start = bank.earliest_start(req, now)
+        bank.issue(req, start)
+        now = start
+        if is_write:
+            writes += 1
+        else:
+            reads += 1
+    assert stats.reads == reads
+    assert stats.writes == writes
+    assert stats.row_hits + stats.row_misses + stats.underfetches == reads
+
+
+@given(
+    ops=operations,
+    dims=st.sampled_from([(1, 1), (8, 2), (2, 8), (8, 8)]),
+)
+@settings(max_examples=60, deadline=None)
+def test_invariants_hold_across_grids(ops, dims):
+    sags, cds = dims
+    bank, mapper, stats = build_bank(sags, cds)
+    now = 0
+    for is_write, row, col in ops:
+        op = OpType.WRITE if is_write else OpType.READ
+        req = MemRequest(op, mapper.encode(row=row, col=col))
+        req.decoded = mapper.decode(req.address)
+        start = bank.earliest_start(req, now)
+        bank.issue(req, start)
+        now = start
+    # Sense energy is always a whole number of CD slices.
+    assert stats.sense_bits % bank.sense_bits == 0

@@ -1,0 +1,75 @@
+"""Property tests: energy pricing is monotone, additive and positive."""
+
+import pytest
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import EnergyParams
+from repro.core.energy import EnergyModel
+from repro.memsys.stats import StatsCollector
+
+
+def stats_of(sense_bits, write_bits, cycles, reads=0, row_misses=0):
+    stats = StatsCollector()
+    stats.sense_bits = sense_bits
+    stats.write_bits = write_bits
+    stats.cycles = cycles
+    stats.reads = reads
+    stats.row_misses = row_misses
+    return stats
+
+
+counters = st.integers(min_value=0, max_value=10**9)
+
+
+@given(sense=counters, write=counters, cycles=counters)
+@settings(max_examples=200, deadline=None)
+def test_energy_components_non_negative_and_additive(sense, write, cycles):
+    model = EnergyModel(EnergyParams(), tck_ns=2.5)
+    breakdown = model.measure(stats_of(sense, write, cycles))
+    assert breakdown.read_pj >= 0
+    assert breakdown.write_pj >= 0
+    assert breakdown.background_pj >= 0
+    assert breakdown.total_pj == (
+        breakdown.read_pj + breakdown.write_pj + breakdown.background_pj
+    )
+
+
+@given(
+    sense=counters, write=counters, cycles=counters,
+    extra=st.integers(1, 10**6),
+)
+@settings(max_examples=200, deadline=None)
+def test_more_sensed_bits_never_cost_less(sense, write, cycles, extra):
+    model = EnergyModel(EnergyParams(), tck_ns=2.5)
+    small = model.measure(stats_of(sense, write, cycles))
+    large = model.measure(stats_of(sense + extra, write, cycles))
+    assert large.total_pj > small.total_pj
+
+
+@given(
+    reads=st.integers(0, 10**6),
+    misses_a=st.integers(0, 10**6),
+    extra=st.integers(1, 10**6),
+)
+@settings(max_examples=200, deadline=None)
+def test_perfect_pricing_monotone_in_misses(reads, misses_a, extra):
+    model = EnergyModel(EnergyParams(), tck_ns=2.5)
+    a = model.measure_perfect(
+        stats_of(0, 0, 0, reads=reads, row_misses=misses_a)
+    )
+    b = model.measure_perfect(
+        stats_of(0, 0, 0, reads=reads, row_misses=misses_a + extra)
+    )
+    assert b.read_pj > a.read_pj
+
+
+@given(sense=counters, write=counters, cycles=st.integers(1, 10**9))
+@settings(max_examples=200, deadline=None)
+def test_relative_energy_scales_linearly(sense, write, cycles):
+    model = EnergyModel(EnergyParams(), tck_ns=2.5)
+    base = model.measure(stats_of(max(sense, 1), write, cycles))
+    double = model.measure(stats_of(2 * max(sense, 1), 2 * write,
+                                    2 * cycles))
+    assert double.relative_to(base) == pytest.approx(2.0)

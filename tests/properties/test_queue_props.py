@@ -1,0 +1,68 @@
+"""Property tests: queue occupancy accounting and drain hysteresis."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memsys.queues import TransactionQueue, WriteQueue
+from repro.memsys.request import MemRequest, OpType
+
+
+@given(
+    capacity=st.integers(1, 32),
+    pushes=st.integers(0, 64),
+)
+@settings(max_examples=100, deadline=None)
+def test_occupancy_never_exceeds_capacity(capacity, pushes):
+    queue = TransactionQueue(capacity)
+    accepted = 0
+    for i in range(pushes):
+        if queue.is_full:
+            break
+        queue.push(MemRequest(OpType.READ, i * 64), i)
+        accepted += 1
+    assert len(queue) == accepted <= capacity
+    assert queue.space() == capacity - accepted
+
+
+@given(ops=st.lists(st.tuples(st.booleans(), st.integers(0, 15)),
+                    max_size=80))
+@settings(max_examples=100, deadline=None)
+def test_forwarding_matches_live_contents(ops):
+    """forwards(addr) is true iff a write to addr is still queued."""
+    queue = WriteQueue(capacity=64, high_watermark=48, low_watermark=8)
+    live = {}
+    for push, slot in ops:
+        address = slot * 64
+        if push and not queue.is_full:
+            req = MemRequest(OpType.WRITE, address)
+            queue.push(req, 0)
+            live.setdefault(address, []).append(req)
+        elif not push and live.get(address):
+            queue.remove(live[address].pop(0))
+            if not live[address]:
+                del live[address]
+    for slot in range(16):
+        address = slot * 64
+        assert queue.forwards(address) == bool(live.get(address))
+
+
+@given(events=st.lists(st.booleans(), min_size=1, max_size=200))
+@settings(max_examples=100, deadline=None)
+def test_drain_hysteresis_invariant(events):
+    """Draining only flips on at >= high and off strictly below low."""
+    queue = WriteQueue(capacity=16, high_watermark=12, low_watermark=4)
+    pending = []
+    was_draining = False
+    for push in events:
+        if push and not queue.is_full:
+            req = MemRequest(OpType.WRITE, len(pending) * 64)
+            queue.push(req, 0)
+            pending.append(req)
+        elif not push and pending:
+            queue.remove(pending.pop())
+        draining = queue.draining
+        if draining and not was_draining:
+            assert len(queue) >= queue.high_watermark
+        if was_draining and not draining:
+            assert len(queue) < queue.low_watermark
+        was_draining = draining

@@ -1,0 +1,83 @@
+"""Detailed run reports: histogram, mix, utilisation, bus pressure."""
+
+import pytest
+
+from repro.config import fgnvm
+from repro.memsys.stats import StatsCollector
+from repro.sim.report import (
+    bank_utilisation_table,
+    bus_pressure,
+    full_report,
+    latency_histogram_table,
+    service_mix,
+)
+from repro.sim.simulator import Simulator
+from repro.workloads.synthetic import multi_stream_kernel
+
+
+@pytest.fixture(scope="module")
+def finished_simulator():
+    cfg = fgnvm(4, 4)
+    cfg.org.rows_per_bank = 512
+    trace = multi_stream_kernel(
+        400, streams=4, gap=4, write_fraction=0.3, seed=3,
+        stream_spacing_bytes=(1 << 18) + 128,
+    )
+    simulator = Simulator(cfg, trace)
+    simulator.run()
+    return simulator
+
+
+class TestHistogram:
+    def test_empty_stats(self):
+        assert "no reads" in latency_histogram_table(StatsCollector())
+
+    def test_counts_and_shares(self, finished_simulator):
+        text = latency_histogram_table(finished_simulator.stats)
+        assert "latency (cycles)" in text
+        assert "%" in text
+
+    def test_histogram_totals_match_reads(self, finished_simulator):
+        stats = finished_simulator.stats
+        assert sum(stats.latency_histogram) == stats.reads
+
+
+class TestServiceMix:
+    def test_fractions_sum_to_one(self, finished_simulator):
+        mix = service_mix(finished_simulator.stats)
+        assert sum(mix.values()) == pytest.approx(1.0, abs=1e-6)
+
+    def test_empty_stats_safe(self):
+        mix = service_mix(StatsCollector())
+        assert all(v == 0.0 for v in mix.values())
+
+
+class TestUtilisation:
+    def test_one_row_per_bank(self, finished_simulator):
+        text = bank_utilisation_table(finished_simulator)
+        banks = len(finished_simulator.controller.controllers[0].banks)
+        assert text.count("ch0/bank") == banks
+
+    def test_fractions_bounded(self, finished_simulator):
+        cycles = finished_simulator.stats.cycles
+        for controller in finished_simulator.controller.controllers:
+            for bank in controller.banks:
+                sag_util, cd_util = bank.grid.utilisation(cycles)
+                assert 0.0 <= sag_util <= 1.0
+                assert 0.0 <= cd_util <= 1.0
+
+
+class TestBusPressure:
+    def test_transfers_cover_all_requests(self, finished_simulator):
+        pressure = bus_pressure(finished_simulator)
+        stats = finished_simulator.stats
+        # Forwarded reads skip the bus; everything else crosses it once.
+        assert pressure["transfers"] >= stats.requests - stats.row_hits
+        assert 0.0 <= pressure["utilisation"] <= 1.0
+
+
+def test_full_report_renders_everything(finished_simulator):
+    text = full_report(finished_simulator)
+    for fragment in ("service mix", "latency distribution",
+                     "tile utilisation", "data bus", "parallelism"):
+        assert fragment in text

@@ -1,0 +1,68 @@
+"""Plain-text reporting helpers."""
+
+import pytest
+
+from repro.sim.reporting import (
+    ascii_table,
+    bar_chart,
+    dict_table,
+    format_cell,
+    series_table,
+)
+
+
+class TestFormatCell:
+    def test_floats_respect_precision(self):
+        assert format_cell(1.23456, precision=2) == "1.23"
+
+    def test_ints_and_strings_pass_through(self):
+        assert format_cell(42) == "42"
+        assert format_cell("abc") == "abc"
+
+
+class TestAsciiTable:
+    def test_alignment_and_rule(self):
+        text = ascii_table(["name", "value"], [["a", 1], ["bbbb", 22]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert set(lines[1]) <= {"-", " "}
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1  # every row padded to the same width
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            ascii_table(["a", "b"], [["only-one"]])
+
+
+class TestSeriesTable:
+    def test_renders_nested_mapping(self):
+        text = series_table(
+            {"mcf": {"fgnvm": 1.5, "128": 2.0},
+             "lbm": {"fgnvm": 1.4, "128": 1.8}},
+        )
+        assert "mcf" in text and "fgnvm" in text and "1.500" in text
+
+    def test_missing_cells_render_blank(self):
+        text = series_table({"a": {"x": 1.0}, "b": {"y": 2.0}})
+        assert "x" in text and "y" in text
+
+    def test_empty(self):
+        assert series_table({}) == "(empty)"
+
+
+class TestBarChart:
+    def test_bars_scale_with_values(self):
+        text = bar_chart({"small": 1.0, "big": 2.0}, width=10)
+        small_line, big_line = text.splitlines()
+        assert big_line.count("#") == 2 * small_line.count("#")
+
+    def test_empty(self):
+        assert bar_chart({}) == "(empty)"
+
+    def test_zero_peak_does_not_crash(self):
+        assert "a" in bar_chart({"a": 0.0})
+
+
+def test_dict_table_contains_pairs():
+    text = dict_table({"scheduler": "frfcfs", "banks": 8})
+    assert "scheduler" in text and "frfcfs" in text and "8" in text

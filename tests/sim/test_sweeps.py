@@ -1,0 +1,78 @@
+"""Parameter-sweep utility."""
+
+import pytest
+
+from repro.config import fgnvm
+from repro.errors import ConfigError
+from repro.sim.sweeps import (
+    SweepResult,
+    parameter_sweep,
+    render_sweep,
+    swept_configs,
+)
+
+
+def base():
+    cfg = fgnvm(8, 2)
+    cfg.org.rows_per_bank = 512
+    return cfg
+
+
+class TestSweptConfigs:
+    def test_names_are_unique_and_descriptive(self):
+        configs = swept_configs(base(), "org.column_divisions", [1, 2, 4])
+        names = [c.name for c in configs]
+        assert len(set(names)) == 3
+        assert all("org.column_divisions=" in n for n in names)
+
+    def test_base_config_is_untouched(self):
+        cfg = base()
+        swept_configs(cfg, "org.column_divisions", [8])
+        assert cfg.org.column_divisions == 2
+
+    def test_values_are_applied(self):
+        configs = swept_configs(base(), "cpu.rob_entries", [64, 256])
+        assert [c.cpu.rob_entries for c in configs] == [64, 256]
+
+    def test_invalid_point_rejected(self):
+        with pytest.raises(ConfigError):
+            swept_configs(base(), "org.column_divisions", [3])
+
+    def test_unknown_path_rejected(self):
+        with pytest.raises(ConfigError):
+            swept_configs(base(), "org.nonsense", [1])
+
+
+class TestParameterSweep:
+    def test_sweep_runs_every_point(self):
+        sweep = parameter_sweep(
+            base(), "org.column_divisions", [1, 2], "sphinx3", requests=300
+        )
+        assert len(sweep.results) == 2
+        rows = sweep.rows()
+        assert set(rows) == {
+            "org.column_divisions=1", "org.column_divisions=2"
+        }
+        assert rows["org.column_divisions=1"]["vs_first"] == pytest.approx(
+            1.0
+        )
+
+    def test_metric_extraction(self):
+        sweep = parameter_sweep(
+            base(), "org.column_divisions", [1, 2], "sphinx3", requests=300
+        )
+        ipcs = sweep.metric("ipc")
+        assert len(ipcs) == 2
+        assert all(v > 0 for v in ipcs)
+
+    def test_render(self):
+        sweep = parameter_sweep(
+            base(), "cpu.rob_entries", [64, 192], "sphinx3", requests=300
+        )
+        text = render_sweep(sweep)
+        assert "sweep of cpu.rob_entries" in text
+        assert "cpu.rob_entries=64" in text
+
+    def test_render_empty(self):
+        text = render_sweep(SweepResult("x", "mcf", []))
+        assert "empty" in text

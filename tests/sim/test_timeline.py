@@ -1,0 +1,96 @@
+"""Timeline rendering and overlap accounting."""
+
+import pytest
+
+from repro.sim.timeline import overlap_summary, render_timeline
+
+
+def ev(start, end, sag, cd, kind):
+    return (start, end, sag, cd, kind)
+
+
+class TestRenderTimeline:
+    def test_empty_log(self):
+        assert render_timeline([]) == "(no events)"
+
+    def test_one_lane_per_tile(self):
+        text = render_timeline([
+            ev(0, 10, 0, 0, "row_miss"),
+            ev(0, 10, 1, 1, "row_miss"),
+        ])
+        assert "SAG0/CD0" in text
+        assert "SAG1/CD1" in text
+        assert text.count("|") == 4  # two framed lanes
+
+    def test_glyphs_match_kinds(self):
+        text = render_timeline([
+            ev(0, 4, 0, 0, "row_miss"),
+            ev(4, 8, 0, 0, "underfetch"),
+            ev(8, 12, 0, 0, "row_hit"),
+            ev(12, 20, 0, 0, "write"),
+        ], width=20)
+        lane = [l for l in text.splitlines() if "SAG0" in l][0]
+        for glyph in "MUhW":
+            assert glyph in lane
+
+    def test_idle_gaps_rendered(self):
+        text = render_timeline([
+            ev(0, 4, 0, 0, "row_miss"),
+            ev(16, 20, 0, 0, "row_miss"),
+        ], width=20)
+        lane = [l for l in text.splitlines() if "SAG0" in l][0]
+        assert "." in lane
+
+    def test_width_bounds_columns(self):
+        text = render_timeline(
+            [ev(0, 10_000, 0, 0, "write")], width=40
+        )
+        lane = [l for l in text.splitlines() if "SAG0" in l][0]
+        bar = lane.split("|")[1]
+        assert len(bar) <= 40
+
+    def test_explicit_window(self):
+        text = render_timeline(
+            [ev(5, 15, 0, 0, "row_miss")], start=0, end=20, width=20
+        )
+        assert "cycles 0..20" in text
+
+
+class TestOverlapSummary:
+    def test_empty(self):
+        summary = overlap_summary([])
+        assert summary == {
+            "multi_activation": 0, "read_under_write": 0, "busy": 0
+        }
+
+    def test_disjoint_senses_do_not_count(self):
+        summary = overlap_summary([
+            ev(0, 10, 0, 0, "row_miss"),
+            ev(10, 20, 1, 1, "row_miss"),
+        ])
+        assert summary["multi_activation"] == 0
+        assert summary["busy"] == 20
+
+    def test_overlapping_senses_count_overlap_cycles(self):
+        summary = overlap_summary([
+            ev(0, 10, 0, 0, "row_miss"),
+            ev(5, 15, 1, 1, "underfetch"),
+        ])
+        assert summary["multi_activation"] == 5
+        assert summary["busy"] == 15
+
+    def test_read_under_write(self):
+        summary = overlap_summary([
+            ev(0, 60, 1, 1, "write_miss"),
+            ev(10, 20, 0, 0, "row_hit"),
+        ])
+        assert summary["read_under_write"] == 10
+        assert summary["multi_activation"] == 0
+
+    def test_hit_is_not_a_sense(self):
+        summary = overlap_summary([
+            ev(0, 10, 0, 0, "row_hit"),
+            ev(0, 10, 1, 1, "row_hit"),
+        ])
+        assert summary["multi_activation"] == 0
+        assert summary["busy"] == 10

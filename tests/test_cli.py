@@ -1,0 +1,146 @@
+"""CLI commands: argument plumbing and exit codes."""
+
+import pytest
+
+from repro.cli import CONFIG_BUILDERS, build_config, main
+from repro.workloads import read_trace
+
+
+class TestList:
+    def test_lists_configs_and_profiles(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fgnvm-8x2" in out
+        assert "mcf" in out
+        assert "mpki" in out
+
+
+class TestRun:
+    def test_run_benchmark(self, capsys):
+        code = main([
+            "run", "--config", "fgnvm-8x2", "--benchmark", "sphinx3",
+            "--requests", "300",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fgnvm-8x2 on sphinx3" in out
+        assert "ipc" in out
+
+    def test_run_trace_file(self, tmp_path, capsys):
+        trace_path = tmp_path / "t.trace"
+        assert main([
+            "trace-gen", "--profile", "sphinx3", "--count", "200",
+            "--output", str(trace_path),
+        ]) == 0
+        assert main([
+            "run", "--config", "baseline", "--trace", str(trace_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "baseline-nvm" in out
+
+    def test_unknown_config_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--config", "bogus"])
+
+    def test_build_config_covers_every_name(self):
+        for name in CONFIG_BUILDERS:
+            assert build_config(name).name
+
+
+class TestTables:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        assert "Row latches" in capsys.readouterr().out
+
+    def test_table2(self, capsys):
+        assert main(["table2"]) == 0
+        assert "tWP" in capsys.readouterr().out
+
+
+class TestFigures:
+    def test_figure4_small(self, capsys):
+        code = main([
+            "figure4", "--benchmarks", "mcf", "--requests", "600",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Figure 4" in out and "gmean" in out
+
+    def test_figure5_small(self, capsys):
+        code = main([
+            "figure5", "--benchmarks", "mcf", "--requests", "600",
+        ])
+        assert code == 0
+        assert "8x32-perfect" in capsys.readouterr().out
+
+
+class TestTraceGen:
+    def test_native_roundtrips(self, tmp_path):
+        path = tmp_path / "mcf.trace"
+        assert main([
+            "trace-gen", "--profile", "mcf", "--count", "150",
+            "--output", str(path),
+        ]) == 0
+        assert len(read_trace(path)) == 150
+
+    def test_nvmain_format(self, tmp_path):
+        path = tmp_path / "mcf.nvt"
+        assert main([
+            "trace-gen", "--profile", "mcf", "--count", "50",
+            "--output", str(path), "--format", "nvmain",
+        ]) == 0
+        first = path.read_text().splitlines()[0].split()
+        assert len(first) == 5
+
+    def test_missing_output_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["trace-gen", "--profile", "mcf"])
+
+
+class TestCompareAndSweep:
+    def test_compare_prints_table(self, capsys):
+        assert main([
+            "compare", "--configs", "baseline", "fgnvm-8x2",
+            "--benchmark", "sphinx3", "--requests", "300",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "speedup_vs_first" in out
+        assert "fgnvm-8x2" in out
+
+    def test_sweep_prints_points(self, capsys):
+        assert main([
+            "sweep", "--path", "cpu.rob_entries", "--values", "64", "128",
+            "--benchmark", "sphinx3", "--requests", "300",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "cpu.rob_entries=64" in out
+
+    def test_sweep_parses_bool_values(self, capsys):
+        assert main([
+            "sweep", "--path", "controller.close_page",
+            "--values", "false", "true",
+            "--benchmark", "sphinx3", "--requests", "300",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "controller.close_page=True" in out
+
+    def test_figure3_command(self, capsys):
+        assert main(["figure3"]) == 0
+        assert "Partial-Activation" in capsys.readouterr().out
+
+
+class TestReproduce:
+    def test_reproduce_writes_every_artifact(self, tmp_path, capsys):
+        code = main([
+            "reproduce", "--out", str(tmp_path / "repro"),
+            "--benchmarks", "sphinx3", "--requests", "600",
+        ])
+        assert code == 0
+        produced = {p.name for p in (tmp_path / "repro").iterdir()}
+        assert {
+            "table1.txt", "table2.txt", "figure3.txt", "figure4.txt",
+            "figure5.txt", "headline.txt", "table1.csv", "figure4.csv",
+            "figure5.csv", "MANIFEST.txt",
+        } <= produced
+        out = capsys.readouterr().out
+        assert "ok" in out

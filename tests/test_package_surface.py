@@ -1,0 +1,51 @@
+"""Package surface: exports resolve, version is coherent."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+SUBPACKAGES = (
+    "repro.config", "repro.memsys", "repro.core", "repro.cpu",
+    "repro.workloads", "repro.sim", "repro.analysis",
+)
+
+
+@pytest.mark.parametrize("name", SUBPACKAGES)
+def test_all_exports_resolve(name):
+    module = importlib.import_module(name)
+    for symbol in getattr(module, "__all__", []):
+        assert hasattr(module, symbol), f"{name}.{symbol} missing"
+
+
+def test_top_level_all_resolves():
+    for symbol in repro.__all__:
+        assert hasattr(repro, symbol)
+
+
+def test_version_matches_metadata():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_error_hierarchy_is_rooted():
+    from repro import errors
+
+    leaves = [
+        errors.ConfigError, errors.AddressError, errors.ProtocolError,
+        errors.SchedulerError, errors.QueueFullError,
+        errors.TraceFormatError, errors.SimulationError,
+    ]
+    for leaf in leaves:
+        assert issubclass(leaf, errors.ReproError)
+    assert issubclass(errors.ReproError, Exception)
+
+
+def test_cli_is_importable_as_module_main():
+    from repro import cli
+
+    parser = cli.make_parser()
+    for command in cli._HANDLERS:
+        # Every handler is reachable from the parser's subcommands.
+        assert command in parser.format_help()

@@ -1,0 +1,64 @@
+"""Unit-conversion helpers."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro import units
+
+
+class TestNsToCycles:
+    def test_table2_conversions_at_default_tck(self):
+        assert units.ns_to_cycles(25.0) == 10
+        assert units.ns_to_cycles(95.0) == 38
+        assert units.ns_to_cycles(150.0) == 60
+        assert units.ns_to_cycles(7.5) == 3
+        assert units.ns_to_cycles(0.0) == 0
+
+    def test_rounds_up_partial_cycles(self):
+        assert units.ns_to_cycles(2.6, tck_ns=2.5) == 2
+        assert units.ns_to_cycles(5.1, tck_ns=2.5) == 3
+
+    def test_float_fuzz_does_not_inflate(self):
+        # 7.5 / 2.5 is 3.0000000000000004 in floating point.
+        assert units.ns_to_cycles(7.5, tck_ns=2.5) == 3
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ConfigError):
+            units.ns_to_cycles(-1.0)
+
+    def test_bad_clock_rejected(self):
+        with pytest.raises(ConfigError):
+            units.ns_to_cycles(10.0, tck_ns=0.0)
+
+
+class TestCyclesToTime:
+    def test_roundtrip(self):
+        assert units.cycles_to_ns(38) == pytest.approx(95.0)
+        assert units.cycles_to_us(400) == pytest.approx(1.0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigError):
+            units.cycles_to_ns(-5)
+
+
+class TestEnergyAreaConversions:
+    def test_pj_conversions(self):
+        assert units.pj_to_nj(1500.0) == pytest.approx(1.5)
+        assert units.pj_to_uj(2_000_000.0) == pytest.approx(2.0)
+
+    def test_area_conversions_roundtrip(self):
+        assert units.um2_to_mm2(units.mm2_to_um2(0.11)) == pytest.approx(0.11)
+        assert units.mm2_to_um2(0.1) == pytest.approx(100_000.0)
+
+
+class TestPowerOfTwo:
+    @pytest.mark.parametrize("value", [1, 2, 4, 8, 1024, 1 << 30])
+    def test_powers_accepted(self, value):
+        assert units.is_power_of_two(value)
+        assert 1 << units.log2_exact(value) == value
+
+    @pytest.mark.parametrize("value", [0, -2, 3, 6, 1000])
+    def test_non_powers_rejected(self, value):
+        assert not units.is_power_of_two(value)
+        with pytest.raises(ConfigError):
+            units.log2_exact(value)

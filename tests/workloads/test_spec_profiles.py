@@ -1,0 +1,69 @@
+"""SPEC2006-like profile definitions."""
+
+import pytest
+
+from repro.workloads.spec_profiles import (
+    PROFILES,
+    BenchmarkProfile,
+    benchmark_names,
+    get_profile,
+)
+
+
+class TestSuiteSelection:
+    def test_every_profile_meets_the_mpki_cutoff(self):
+        # The paper selects SPEC2006 workloads with LLC MPKI >= 10.
+        for profile in PROFILES.values():
+            assert profile.mpki >= 10.0, profile.name
+
+    def test_suite_size_matches_figure(self):
+        assert len(PROFILES) == 12
+
+    def test_canonical_order_is_stable(self):
+        assert benchmark_names() == list(PROFILES)
+
+    def test_famous_benchmarks_present(self):
+        for name in ("mcf", "lbm", "libquantum", "milc", "GemsFDTD"):
+            assert name in PROFILES
+
+    def test_seeds_are_unique(self):
+        seeds = [p.seed for p in PROFILES.values()]
+        assert len(seeds) == len(set(seeds))
+
+    def test_behavioural_diversity(self):
+        fractions = {p.write_fraction for p in PROFILES.values()}
+        seqs = {p.p_seq for p in PROFILES.values()}
+        assert len(fractions) > 5
+        assert max(seqs) > 0.9 and min(seqs) < 0.3  # streamers + chasers
+
+
+class TestProfileValidation:
+    def test_mean_gap(self):
+        profile = BenchmarkProfile("x", mpki=20.0, write_fraction=0.2,
+                                   streams=2, p_seq=0.5, footprint_mib=64)
+        assert profile.mean_gap == pytest.approx(49.0)
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(mpki=0.0),
+        dict(write_fraction=1.0),
+        dict(write_fraction=-0.1),
+        dict(streams=0),
+        dict(p_seq=1.5),
+        dict(gap_burstiness=1.0),
+    ])
+    def test_invalid_parameters_rejected(self, kwargs):
+        base = dict(name="x", mpki=20.0, write_fraction=0.2, streams=2,
+                    p_seq=0.5, footprint_mib=64)
+        base.update(kwargs)
+        with pytest.raises(ValueError):
+            BenchmarkProfile(**base)
+
+
+class TestLookup:
+    def test_get_profile(self):
+        assert get_profile("mcf").name == "mcf"
+
+    def test_unknown_name_lists_known(self):
+        with pytest.raises(KeyError) as excinfo:
+            get_profile("quake3")
+        assert "mcf" in str(excinfo.value)
