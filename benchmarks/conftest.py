@@ -4,9 +4,15 @@ Every bench regenerates one paper artifact (table or figure), prints the
 same rows/series the paper reports, and archives the rendering under
 ``benchmarks/results/`` so EXPERIMENTS.md can cite actual output.
 
-Scale knob: ``REPRO_BENCH_REQUESTS`` (default 2500) sets the trace length
-per (benchmark, architecture) simulation.  The figure *shapes* are stable
-from ~1500 requests upwards; raise it for publication-grade numbers.
+Scale knobs:
+
+* ``REPRO_BENCH_REQUESTS`` (default 2500) — trace length per
+  (benchmark, architecture) simulation; figure *shapes* are stable from
+  ~1500 requests upwards, raise it for publication-grade numbers,
+* ``REPRO_BENCH_WORKERS`` (default 1) — simulation processes; ``0``
+  means one per CPU core,
+* ``REPRO_BENCH_CACHE_DIR`` (unset by default) — persistent result
+  cache; a second bench run against a warm cache simulates nothing.
 """
 
 from __future__ import annotations
@@ -16,7 +22,7 @@ from pathlib import Path
 
 import pytest
 
-from repro.sim.experiment import ExperimentCache
+from repro.sim.parallel import ParallelExperimentEngine
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -25,19 +31,30 @@ def bench_requests() -> int:
     return int(os.environ.get("REPRO_BENCH_REQUESTS", "2500"))
 
 
+def bench_workers() -> "int | None":
+    workers = int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
+    return None if workers == 0 else workers
+
+
 @pytest.fixture(scope="session")
 def requests() -> int:
     return bench_requests()
 
 
 @pytest.fixture(scope="session")
-def cache() -> ExperimentCache:
-    """One simulation cache for the whole bench session.
+def cache() -> ParallelExperimentEngine:
+    """One experiment engine for the whole bench session.
 
     Figure 4, Figure 5 and the headline bench share baseline runs, so
-    the expensive simulations happen exactly once each.
+    the expensive simulations happen exactly once each; with
+    ``REPRO_BENCH_WORKERS`` > 1 each figure's grid fans out across a
+    process pool, and ``REPRO_BENCH_CACHE_DIR`` persists every result
+    across sessions.
     """
-    return ExperimentCache()
+    return ParallelExperimentEngine(
+        workers=bench_workers(),
+        cache_dir=os.environ.get("REPRO_BENCH_CACHE_DIR") or None,
+    )
 
 
 @pytest.fixture(scope="session")

@@ -72,9 +72,18 @@ def run_headline(
     requests: int = DEFAULT_REQUESTS,
     benchmarks: Optional[List[str]] = None,
     cache: Optional[ExperimentCache] = None,
+    engine=None,
 ) -> HeadlineResult:
-    """Run everything the Section 7 summary depends on."""
-    cache = cache or ExperimentCache()
+    """Run everything the Section 7 summary depends on.
+
+    ``engine`` routes both figures' simulation grids through one
+    :class:`repro.sim.parallel.ParallelExperimentEngine`, so Figure 5
+    reuses Figure 4's baseline runs from the engine's cache.
+    """
+    # Explicit None checks: an empty cache/engine is len() == 0, falsy.
+    cache = engine if engine is not None else cache
+    if cache is None:
+        cache = ExperimentCache()
     return HeadlineResult(
         figure4=run_figure4(benchmarks, requests, cache),
         figure5=run_figure5(benchmarks, requests, cache),

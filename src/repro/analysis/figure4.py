@@ -24,6 +24,7 @@ from ..sim.experiment import (
     DEFAULT_REQUESTS,
     ExperimentCache,
     geometric_mean,
+    prefetch_jobs,
     speedup,
 )
 from ..sim.reporting import series_table
@@ -62,11 +63,25 @@ def run_figure4(
     benchmarks: Optional[List[str]] = None,
     requests: int = DEFAULT_REQUESTS,
     cache: Optional[ExperimentCache] = None,
+    engine=None,
 ) -> Figure4Result:
-    """Simulate every (benchmark, architecture) pair of Figure 4."""
-    cache = cache or ExperimentCache()
+    """Simulate every (benchmark, architecture) pair of Figure 4.
+
+    ``engine`` (or an engine passed as ``cache`` — they share the
+    ``run()`` surface) fans the whole (benchmark x architecture) grid
+    across its worker pool before the speedup table is assembled.
+    """
+    # Explicit None checks: an empty cache/engine is len() == 0, falsy.
+    cache = engine if engine is not None else cache
+    if cache is None:
+        cache = ExperimentCache()
     names = benchmarks or benchmark_names()
     configs = figure4_configs()
+    prefetch_jobs(cache, [
+        (configs[label], bench, requests)
+        for bench in names
+        for label in ("baseline",) + SERIES
+    ])
     result = Figure4Result(requests=requests)
     for bench in names:
         base = cache.run(configs["baseline"], bench, requests)

@@ -16,7 +16,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from ..config.presets import figure5_configs
-from ..sim.experiment import DEFAULT_REQUESTS, ExperimentCache
+from ..sim.experiment import DEFAULT_REQUESTS, ExperimentCache, prefetch_jobs
 from ..sim.reporting import series_table
 from ..workloads.spec_profiles import benchmark_names
 
@@ -51,11 +51,24 @@ def run_figure5(
     benchmarks: Optional[List[str]] = None,
     requests: int = DEFAULT_REQUESTS,
     cache: Optional[ExperimentCache] = None,
+    engine=None,
 ) -> Figure5Result:
-    """Simulate the CD sweep and normalise energies to the baseline."""
-    cache = cache or ExperimentCache()
+    """Simulate the CD sweep and normalise energies to the baseline.
+
+    ``engine`` (or an engine passed as ``cache``) fans the whole grid
+    across its worker pool before normalisation.
+    """
+    # Explicit None checks: an empty cache/engine is len() == 0, falsy.
+    cache = engine if engine is not None else cache
+    if cache is None:
+        cache = ExperimentCache()
     names = benchmarks or benchmark_names()
     configs = figure5_configs()
+    prefetch_jobs(cache, [
+        (config, bench, requests)
+        for bench in names
+        for config in configs.values()
+    ])
     result = Figure5Result(requests=requests)
     for bench in names:
         base = cache.run(configs["baseline"], bench, requests)

@@ -21,6 +21,7 @@ import sys
 from typing import Callable, Dict, List, Optional
 
 from . import analysis
+from .errors import ReproError
 from .config import (
     SystemConfig,
     baseline_nvm,
@@ -30,10 +31,12 @@ from .config import (
     many_banks,
 )
 from .sim import (
+    compare_architectures,
+    default_engine,
     dict_table,
     parameter_sweep,
+    progress_printer,
     render_sweep,
-    run_benchmark,
     run_trace,
     series_table,
 )
@@ -67,6 +70,44 @@ def build_config(name: str) -> SystemConfig:
         raise SystemExit(f"unknown config {name!r}; known: {known}")
 
 
+def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
+    """Flags shared by every simulating command."""
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="simulation processes (0 = one per CPU core; default 1 = serial)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None,
+        help="persistent result cache directory (also via REPRO_CACHE_DIR); "
+             "repeated runs with identical parameters simulate nothing",
+    )
+    parser.add_argument(
+        "--progress", action="store_true",
+        help="print per-job progress with an ETA to stderr",
+    )
+
+
+def _make_engine(args):
+    """The experiment engine every simulating command routes through."""
+    workers = None if args.workers == 0 else args.workers
+    return default_engine(
+        workers=workers,
+        cache_dir=args.cache_dir,
+        progress=progress_printer() if args.progress else None,
+    )
+
+
+def _report_engine(args, engine) -> None:
+    if args.progress or args.cache_dir:
+        stats = engine.stats
+        print(
+            f"engine: {stats.simulations} simulation(s), "
+            f"{stats.cache_hits} cache hit(s) "
+            f"({stats.disk_hits} from disk), workers={engine.workers}",
+            file=sys.stderr,
+        )
+
+
 def _cmd_list(args) -> int:
     print("configurations:")
     for name in CONFIG_BUILDERS:
@@ -87,7 +128,9 @@ def _cmd_run(args) -> int:
         result = run_trace(config, read_trace(args.trace))
         workload = args.trace
     else:
-        result = run_benchmark(config, args.benchmark, args.requests)
+        engine = _make_engine(args)
+        result = engine.run(config, args.benchmark, args.requests)
+        _report_engine(args, engine)
         workload = args.benchmark
     print(f"{config.name} on {workload}:")
     print(dict_table(result.summary()))
@@ -95,13 +138,15 @@ def _cmd_run(args) -> int:
 
 
 def _cmd_compare(args) -> int:
+    engine = _make_engine(args)
+    configs = {name: build_config(name) for name in args.configs}
+    results = compare_architectures(
+        configs, args.benchmark, args.requests, cache=engine
+    )
+    _report_engine(args, engine)
     rows = {}
-    base = None
-    for name in args.configs:
-        result = run_benchmark(build_config(name), args.benchmark,
-                               args.requests)
-        if base is None:
-            base = result
+    base = next(iter(results.values()))
+    for name, result in results.items():
         rows[name] = {
             "ipc": result.ipc,
             "speedup_vs_first": result.ipc / base.ipc,
@@ -115,13 +160,16 @@ def _cmd_compare(args) -> int:
 
 
 def _cmd_sweep(args) -> int:
+    engine = _make_engine(args)
     sweep = parameter_sweep(
         build_config(args.config),
         args.path,
         [_parse_value(v) for v in args.values],
         args.benchmark,
         args.requests,
+        engine=engine,
     )
+    _report_engine(args, engine)
     print(render_sweep(sweep))
     return 0
 
@@ -138,7 +186,11 @@ def _parse_value(token: str):
 
 
 def _cmd_figure4(args) -> int:
-    result = analysis.run_figure4(args.benchmarks or None, args.requests)
+    engine = _make_engine(args)
+    result = analysis.run_figure4(
+        args.benchmarks or None, args.requests, engine=engine
+    )
+    _report_engine(args, engine)
     print(analysis.render_figure4(result))
     problems = analysis.check_figure4_shape(result)
     for problem in problems:
@@ -147,7 +199,11 @@ def _cmd_figure4(args) -> int:
 
 
 def _cmd_figure5(args) -> int:
-    result = analysis.run_figure5(args.benchmarks or None, args.requests)
+    engine = _make_engine(args)
+    result = analysis.run_figure5(
+        args.benchmarks or None, args.requests, engine=engine
+    )
+    _report_engine(args, engine)
     print(analysis.render_figure5(result))
     problems = analysis.check_figure5_shape(result)
     for problem in problems:
@@ -182,15 +238,21 @@ def _cmd_table2(args) -> int:
 
 
 def _cmd_headline(args) -> int:
-    result = analysis.run_headline(args.requests, args.benchmarks or None)
+    engine = _make_engine(args)
+    result = analysis.run_headline(
+        args.requests, args.benchmarks or None, engine=engine
+    )
+    _report_engine(args, engine)
     print(analysis.render_headline(result))
     return 0
 
 
 def _cmd_reproduce(args) -> int:
+    engine = _make_engine(args)
     manifest = analysis.reproduce_all(
-        args.out, args.requests, args.benchmarks or None
+        args.out, args.requests, args.benchmarks or None, engine=engine
     )
+    _report_engine(args, engine)
     print(manifest.render())
     return 0 if manifest.clean else 1
 
@@ -221,11 +283,13 @@ def make_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--benchmark", default="mcf")
     run_p.add_argument("--requests", type=int, default=5000)
     run_p.add_argument("--trace", help="replay a native trace file instead")
+    _add_engine_flags(run_p)
 
     for name in ("figure4", "figure5"):
         fig_p = sub.add_parser(name, help=f"regenerate {name}")
         fig_p.add_argument("--benchmarks", nargs="*", default=[])
         fig_p.add_argument("--requests", type=int, default=2500)
+        _add_engine_flags(fig_p)
 
     cmp_p = sub.add_parser("compare", help="one benchmark, many configs")
     cmp_p.add_argument("--configs", nargs="+",
@@ -233,6 +297,7 @@ def make_parser() -> argparse.ArgumentParser:
                        choices=sorted(CONFIG_BUILDERS))
     cmp_p.add_argument("--benchmark", default="mcf")
     cmp_p.add_argument("--requests", type=int, default=3000)
+    _add_engine_flags(cmp_p)
 
     sweep_p = sub.add_parser("sweep", help="sweep one config knob")
     sweep_p.add_argument("--config", default="fgnvm-8x2",
@@ -242,6 +307,7 @@ def make_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--values", nargs="+", required=True)
     sweep_p.add_argument("--benchmark", default="mcf")
     sweep_p.add_argument("--requests", type=int, default=2000)
+    _add_engine_flags(sweep_p)
 
     sub.add_parser("figure3", help="access-scheme timelines (Figure 3)")
     sub.add_parser("table1", help="regenerate Table 1 (area)")
@@ -250,6 +316,7 @@ def make_parser() -> argparse.ArgumentParser:
     head_p = sub.add_parser("headline", help="Section 7 claims")
     head_p.add_argument("--benchmarks", nargs="*", default=[])
     head_p.add_argument("--requests", type=int, default=2500)
+    _add_engine_flags(head_p)
 
     rep_p = sub.add_parser(
         "reproduce", help="regenerate every artifact into a directory"
@@ -257,6 +324,7 @@ def make_parser() -> argparse.ArgumentParser:
     rep_p.add_argument("--out", default="reproduction")
     rep_p.add_argument("--requests", type=int, default=2500)
     rep_p.add_argument("--benchmarks", nargs="*", default=[])
+    _add_engine_flags(rep_p)
 
     gen_p = sub.add_parser("trace-gen", help="write a profile trace")
     gen_p.add_argument("--profile", default="mcf")
@@ -285,7 +353,10 @@ _HANDLERS = {
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = make_parser().parse_args(argv)
-    return _HANDLERS[args.command](args)
+    try:
+        return _HANDLERS[args.command](args)
+    except ReproError as exc:
+        raise SystemExit(f"error: {exc}")
 
 
 if __name__ == "__main__":

@@ -41,5 +41,14 @@ class TraceFormatError(ReproError):
     """A trace file line could not be parsed."""
 
 
+class ExperimentError(ReproError):
+    """An experiment-layer request was malformed or unsatisfiable.
+
+    Raised instead of bare ``KeyError``/``ZeroDivisionError`` when, for
+    example, a sweep is asked for a metric it never measured or a
+    summary over zero results.
+    """
+
+
 class SimulationError(ReproError):
     """The simulation reached an impossible state (e.g. deadlock)."""

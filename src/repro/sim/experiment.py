@@ -13,6 +13,7 @@ This is the layer the figures are generated from:
 
 from __future__ import annotations
 
+import dataclasses
 import math
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -38,15 +39,36 @@ def run_benchmark(
     config: SystemConfig,
     benchmark: str,
     requests: int = DEFAULT_REQUESTS,
+    seed: Optional[int] = None,
 ) -> SimResult:
     """Simulate one named benchmark profile on one configuration.
 
-    The trace is regenerated deterministically from the profile seed, so
-    every architecture sees the identical access stream.
+    The trace is regenerated deterministically from the profile seed
+    (or an explicit ``seed`` override), so every architecture sees the
+    identical access stream.
     """
     profile = get_profile(benchmark)
+    if seed is not None:
+        profile = dataclasses.replace(profile, seed=seed)
     trace = generate_trace(profile, requests)
     return simulate(config, trace)
+
+
+def prefetch_jobs(runner, jobs: "Sequence[tuple]") -> None:
+    """Warm a cache/engine with (config, benchmark, requests) tuples.
+
+    When ``runner`` is a :class:`repro.sim.parallel.ParallelExperimentEngine`
+    the whole batch fans out across the pool in one go; a plain
+    :class:`ExperimentCache` (or ``None``) warms nothing — subsequent
+    ``run`` calls simulate serially exactly as before.
+    """
+    run_jobs = getattr(runner, "run_jobs", None)
+    if run_jobs is None:
+        return
+    from .parallel import ExperimentJob
+
+    run_jobs([ExperimentJob(config, benchmark, requests)
+              for config, benchmark, requests in jobs])
 
 
 def speedup(result: SimResult, baseline: SimResult) -> float:
@@ -71,7 +93,15 @@ def compare_architectures(
     requests: int = DEFAULT_REQUESTS,
     cache: "Optional[ExperimentCache]" = None,
 ) -> Dict[str, SimResult]:
-    """Run one benchmark across several configurations."""
+    """Run one benchmark across several configurations.
+
+    ``cache`` accepts either an :class:`ExperimentCache` or a
+    :class:`repro.sim.parallel.ParallelExperimentEngine`; with an engine
+    the per-config simulations fan out across its worker pool before the
+    results are assembled in label order.
+    """
+    prefetch_jobs(cache, [(config, benchmark, requests)
+                          for config in configs.values()])
     results: Dict[str, SimResult] = {}
     for label, config in configs.items():
         if cache is not None:
@@ -110,6 +140,8 @@ def sweep_benchmarks(
     cache: Optional[ExperimentCache] = None,
 ) -> Dict[str, SimResult]:
     """Run one configuration across a benchmark list."""
+    benchmarks = list(benchmarks)
+    prefetch_jobs(cache, [(config, name, requests) for name in benchmarks])
     results = {}
     for name in benchmarks:
         if cache is not None:

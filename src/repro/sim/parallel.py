@@ -1,0 +1,432 @@
+"""Parallel experiment engine with a persistent on-disk result cache.
+
+The experiment grid behind every figure and sweep is embarrassingly
+parallel: each (config, benchmark, requests, seed) simulation is
+independent of every other.  This module fans those jobs out across
+cores and memoises the results on disk so that regenerating a figure a
+second time performs zero new simulations:
+
+* :class:`ExperimentJob` — one simulation, fully described by value,
+* :func:`job_key` — a content-addressed key: a stable SHA-256 over the
+  serialized :class:`~repro.config.params.SystemConfig`, the trace
+  parameters and a code-version tag,
+* :class:`DiskResultCache` — pickled :class:`SimResult` blobs under a
+  cache directory, keyed by :func:`job_key`,
+* :class:`ParallelExperimentEngine` — ``ProcessPoolExecutor`` fan-out
+  with an in-memory layer above the disk layer, a serial fallback when
+  ``workers=1`` (or the platform cannot fork a pool), and progress/ETA
+  callbacks wired to :mod:`repro.sim.reporting`.
+
+The engine duck-types :class:`~repro.sim.experiment.ExperimentCache`
+(``run(config, benchmark, requests)`` plus ``__len__``), so everything
+that accepted a cache — figure generators, benches, sweeps — can be
+handed an engine instead.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from ..config.params import SystemConfig
+from ..errors import ExperimentError
+from ..workloads.spec_profiles import get_profile
+from ..workloads.tracegen import generate_trace
+from .simulator import SimResult, simulate
+
+#: Bumped whenever a change to the simulator/bank models alters results;
+#: part of every cache key so a stale cache can never satisfy a job that
+#: newer code would simulate differently.
+CODE_VERSION = "fgnvm-sim-1"
+
+#: Default cache directory (overridable per engine or via
+#: ``REPRO_CACHE_DIR``).
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+# -- jobs and keys ----------------------------------------------------------
+
+
+@dataclass
+class ExperimentJob:
+    """One independent simulation, fully described by value.
+
+    ``seed`` overrides the benchmark profile's trace seed when set, so a
+    seed sweep over one (config, benchmark) pair is a first-class grid
+    axis.
+    """
+
+    config: SystemConfig
+    benchmark: str
+    requests: int
+    seed: Optional[int] = None
+
+
+def _jsonable(value):
+    """Recursively reduce a config value to JSON-stable primitives."""
+    if isinstance(value, enum.Enum):
+        return value.value
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: _jsonable(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    return value
+
+
+def canonical_config(config: SystemConfig) -> str:
+    """A stable serialization of every field of a config.
+
+    Two configs constructed independently with identical field values
+    produce the identical string; any single-field difference (including
+    the name) produces a different one.
+    """
+    return json.dumps(_jsonable(config), sort_keys=True, separators=(",", ":"))
+
+
+def config_digest(config: SystemConfig) -> str:
+    """SHA-256 hex digest of the canonical config serialization."""
+    return hashlib.sha256(canonical_config(config).encode("utf-8")).hexdigest()
+
+
+def job_key(job: ExperimentJob, code_version: str = CODE_VERSION) -> str:
+    """Content-addressed cache key for one job.
+
+    Stable across processes and Python versions (no ``hash()``
+    randomisation), and distinct whenever the config, trace parameters
+    or code version differ.
+    """
+    payload = json.dumps(
+        {
+            "code": code_version,
+            "config": canonical_config(job.config),
+            "benchmark": job.benchmark,
+            "requests": job.requests,
+            "seed": job.seed,
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def execute_job(job: ExperimentJob) -> SimResult:
+    """Run one job to completion (the worker-process entry point).
+
+    Module-level so it pickles into pool workers; deterministic because
+    the trace is regenerated from the (profile, seed) pair and the
+    simulator itself is seed-free.
+    """
+    profile = get_profile(job.benchmark)
+    if job.seed is not None:
+        profile = replace(profile, seed=job.seed)
+    trace = generate_trace(profile, job.requests)
+    return simulate(job.config, trace)
+
+
+# -- persistent cache -------------------------------------------------------
+
+
+class DiskResultCache:
+    """Content-addressed pickle store for :class:`SimResult` blobs.
+
+    Layout: ``<root>/<key[:2]>/<key>.pkl`` — two-level fan-out keeps
+    directories small for thousand-entry sweeps.  Writes are atomic
+    (tempfile + rename), so a killed run never leaves a truncated blob
+    that a later run would trust; unreadable blobs are treated as
+    misses and overwritten.
+    """
+
+    def __init__(self, root: "str | os.PathLike[str]"):
+        self.root = Path(root)
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+        except (FileExistsError, NotADirectoryError) as exc:
+            raise ExperimentError(
+                f"cache dir {self.root} is not a directory: {exc}"
+            ) from exc
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def get(self, key: str) -> Optional[SimResult]:
+        path = self._path(key)
+        try:
+            with path.open("rb") as handle:
+                return pickle.load(handle)
+        except FileNotFoundError:
+            return None
+        except (pickle.UnpicklingError, EOFError, AttributeError, OSError,
+                ValueError, ImportError, IndexError, MemoryError):
+            # Corrupt or stale blob: drop it and re-simulate.  Unpickling
+            # arbitrary bytes can raise well beyond UnpicklingError
+            # (e.g. ValueError from a garbage LONG opcode).
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+
+    def put(self, key: str, result: SimResult) -> None:
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(result, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    def keys(self) -> List[str]:
+        return sorted(p.stem for p in self.root.glob("*/*.pkl"))
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*/*.pkl"))
+
+    def purge(self) -> int:
+        """Delete every cached blob; returns how many were removed."""
+        removed = 0
+        for path in self.root.glob("*/*.pkl"):
+            path.unlink()
+            removed += 1
+        return removed
+
+
+# -- engine -----------------------------------------------------------------
+
+
+@dataclass
+class EngineStats:
+    """Where the engine's results came from (the cache-hit counters)."""
+
+    submitted: int = 0
+    memory_hits: int = 0
+    disk_hits: int = 0
+    executed: int = 0
+
+    @property
+    def cache_hits(self) -> int:
+        return self.memory_hits + self.disk_hits
+
+    @property
+    def simulations(self) -> int:
+        """New simulations actually performed (the acceptance counter)."""
+        return self.executed
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "submitted": self.submitted,
+            "memory_hits": self.memory_hits,
+            "disk_hits": self.disk_hits,
+            "cache_hits": self.cache_hits,
+            "simulations": self.executed,
+        }
+
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """One progress snapshot handed to the engine's callback."""
+
+    done: int
+    total: int
+    elapsed_s: float
+    cache_hits: int
+    label: str = "simulations"
+
+    @property
+    def eta_s(self) -> Optional[float]:
+        """Estimated seconds remaining (None before any completion)."""
+        if self.done <= 0 or self.total <= self.done:
+            return None if self.total > self.done else 0.0
+        return self.elapsed_s / self.done * (self.total - self.done)
+
+
+ProgressHook = Callable[[ProgressEvent], None]
+
+
+class ParallelExperimentEngine:
+    """Fan independent simulation jobs across cores, memoised twice over.
+
+    * ``workers`` — pool size; ``None`` means ``os.cpu_count()``; ``1``
+      (or an unavailable pool) runs serially in-process with identical
+      results and the same cache behaviour.
+    * ``cache_dir`` — enables the persistent :class:`DiskResultCache`;
+      ``None`` keeps memoisation purely in-memory (like the classic
+      :class:`~repro.sim.experiment.ExperimentCache`).
+    * ``progress`` — optional :data:`ProgressHook` called after every
+      completed job of a batch (see
+      :func:`repro.sim.reporting.progress_printer`).
+
+    Lookup order per job: in-memory dict, then disk, then simulate.
+    Results are returned in job order regardless of completion order,
+    so serial and parallel runs are indistinguishable to callers.
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = 1,
+        cache_dir: "str | os.PathLike[str] | None" = None,
+        progress: Optional[ProgressHook] = None,
+        code_version: str = CODE_VERSION,
+    ):
+        self.workers = os.cpu_count() or 1 if workers is None else workers
+        if self.workers < 1:
+            raise ExperimentError(
+                f"workers must be >= 1, got {self.workers}"
+            )
+        self.code_version = code_version
+        self.progress = progress
+        self.disk = DiskResultCache(cache_dir) if cache_dir else None
+        self.stats = EngineStats()
+        self._memory: Dict[str, SimResult] = {}
+
+    # -- ExperimentCache-compatible surface ---------------------------------
+
+    def run(
+        self,
+        config: SystemConfig,
+        benchmark: str,
+        requests: int = 20_000,
+        seed: Optional[int] = None,
+    ) -> SimResult:
+        """One job through the cache hierarchy (drop-in for a cache)."""
+        return self.run_jobs(
+            [ExperimentJob(config, benchmark, requests, seed)]
+        )[0]
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    # -- batch execution ----------------------------------------------------
+
+    def run_jobs(self, jobs: Sequence[ExperimentJob]) -> List[SimResult]:
+        """Run a batch of jobs, fanning cache misses across the pool.
+
+        Returns results in job order.  Duplicate jobs within one batch
+        simulate once.
+        """
+        jobs = list(jobs)
+        keys = [job_key(job, self.code_version) for job in jobs]
+        self.stats.submitted += len(jobs)
+        started = time.monotonic()
+
+        results: Dict[str, SimResult] = {}
+        pending: List[ExperimentJob] = []
+        pending_keys: List[str] = []
+        for job, key in zip(jobs, keys):
+            if key in results:
+                self.stats.memory_hits += 1
+                continue
+            if key in self._memory:
+                self.stats.memory_hits += 1
+                results[key] = self._memory[key]
+                continue
+            if self.disk is not None:
+                cached = self.disk.get(key)
+                if cached is not None:
+                    self.stats.disk_hits += 1
+                    results[key] = cached
+                    self._memory[key] = cached
+                    continue
+            if key not in pending_keys:
+                pending.append(job)
+                pending_keys.append(key)
+
+        done = len(jobs) - len(pending)
+        self._report(done, len(jobs), started)
+        for key, result in zip(pending_keys,
+                               self._execute(pending, len(jobs), started)):
+            results[key] = result
+            self._memory[key] = result
+            if self.disk is not None:
+                self.disk.put(key, result)
+            self.stats.executed += 1
+        return [results[key] for key in keys]
+
+    def map(self, fn: Callable, items: Iterable) -> List:
+        """Generic fan-out of a picklable function over items (uncached).
+
+        Used for independent work that is not a (config, benchmark)
+        simulation — e.g. Figure 3's scenario panels.  Serial when the
+        pool is unavailable; order is preserved either way.
+        """
+        items = list(items)
+        if self.workers <= 1 or len(items) <= 1:
+            return [fn(item) for item in items]
+        pool = self._make_pool(len(items))
+        if pool is None:
+            return [fn(item) for item in items]
+        with pool:
+            return list(pool.map(fn, items))
+
+    # -- internals ----------------------------------------------------------
+
+    def _execute(self, pending: List[ExperimentJob], total: int,
+                 started: float) -> Iterable[SimResult]:
+        done = total - len(pending)
+        runner = None
+        if self.workers > 1 and len(pending) > 1:
+            pool = self._make_pool(len(pending))
+            if pool is not None:
+                def pooled():
+                    with pool:
+                        yield from pool.map(execute_job, pending)
+                runner = pooled()
+        if runner is None:
+            runner = (execute_job(job) for job in pending)
+        for result in runner:
+            done += 1
+            self._report(done, total, started)
+            yield result
+
+    def _make_pool(self, n_tasks: int) -> Optional[ProcessPoolExecutor]:
+        """A pool sized to the work, or None when the platform refuses."""
+        try:
+            return ProcessPoolExecutor(
+                max_workers=min(self.workers, n_tasks)
+            )
+        except (OSError, ValueError, NotImplementedError):
+            return None
+
+    def _report(self, done: int, total: int, started: float) -> None:
+        if self.progress is not None:
+            self.progress(
+                ProgressEvent(
+                    done=done,
+                    total=total,
+                    elapsed_s=time.monotonic() - started,
+                    cache_hits=self.stats.cache_hits,
+                )
+            )
+
+
+def default_engine(
+    workers: Optional[int] = 1,
+    cache_dir: "str | os.PathLike[str] | None" = None,
+    progress: Optional[ProgressHook] = None,
+) -> ParallelExperimentEngine:
+    """An engine honouring the ``REPRO_CACHE_DIR`` environment default."""
+    if cache_dir is None:
+        cache_dir = os.environ.get("REPRO_CACHE_DIR") or None
+    return ParallelExperimentEngine(
+        workers=workers, cache_dir=cache_dir, progress=progress
+    )

@@ -24,7 +24,8 @@ from typing import Dict, List, Optional, Sequence
 
 from ..config.params import SystemConfig, override_nested
 from ..config.validate import validate_config
-from .experiment import run_benchmark
+from ..errors import ExperimentError
+from .experiment import prefetch_jobs, run_benchmark
 from .reporting import series_table
 from .simulator import SimResult
 
@@ -38,12 +39,28 @@ class SweepResult:
     values: List[object]
     results: List[SimResult] = field(default_factory=list)
 
+    def _require_results(self, what: str) -> None:
+        if not self.results:
+            raise ExperimentError(
+                f"cannot compute {what}: sweep of {self.path!r} on "
+                f"{self.benchmark!r} holds no results (was parameter_sweep "
+                "given an empty value list?)"
+            )
+
     def metric(self, name: str) -> List[float]:
         """Extract one summary metric across the sweep."""
+        self._require_results(f"metric {name!r}")
+        available = self.results[0].summary()
+        if name not in available:
+            known = ", ".join(sorted(available))
+            raise ExperimentError(
+                f"unknown sweep metric {name!r}; available metrics: {known}"
+            )
         return [result.summary()[name] for result in self.results]
 
     def rows(self) -> Dict[str, Dict[str, float]]:
-        base_ipc = self.results[0].ipc if self.results else 1.0
+        self._require_results("rows")
+        base_ipc = self.results[0].ipc
         table: Dict[str, Dict[str, float]] = {}
         for value, result in zip(self.values, self.results):
             stats = result.stats
@@ -75,18 +92,31 @@ def parameter_sweep(
     values: Sequence[object],
     benchmark: str,
     requests: int = 2000,
+    engine=None,
 ) -> SweepResult:
-    """Run ``benchmark`` across every value of one dotted-path knob."""
+    """Run ``benchmark`` across every value of one dotted-path knob.
+
+    ``engine`` (a :class:`repro.sim.parallel.ParallelExperimentEngine`
+    or a plain :class:`~repro.sim.experiment.ExperimentCache`) routes
+    the sweep points through its pool and result cache; the serial
+    in-process path is the default.
+    """
     sweep = SweepResult(path=path, benchmark=benchmark, values=list(values))
-    for cfg in swept_configs(base, path, values):
-        sweep.results.append(run_benchmark(cfg, benchmark, requests))
+    configs = swept_configs(base, path, values)
+    prefetch_jobs(engine, [(cfg, benchmark, requests) for cfg in configs])
+    for cfg in configs:
+        if engine is not None:
+            sweep.results.append(engine.run(cfg, benchmark, requests))
+        else:
+            sweep.results.append(run_benchmark(cfg, benchmark, requests))
     return sweep
 
 
 def render_sweep(sweep: SweepResult) -> str:
+    if not sweep.results:
+        return f"sweep of {sweep.path} (empty)"
     header = (
         f"sweep of {sweep.path} on {sweep.benchmark} "
         f"(base {sweep.results[0].config.name.split('|')[0]})"
-        if sweep.results else f"sweep of {sweep.path} (empty)"
     )
     return header + "\n" + series_table(sweep.rows(), row_label="point")

@@ -1,0 +1,85 @@
+"""Differential tests: FgNVM degenerates exactly to the baseline bank.
+
+An FgNVM bank subdivided 1 SAG x 1 CD is, by construction, the
+state-of-the-art baseline bank: one open row, the whole row sensed per
+activation, writes blocking the bank.  The two implementations live in
+different modules (`repro.core.fgnvm_bank` vs `repro.memsys.bank_baseline`),
+so this suite pins them against each other cycle-for-cycle — any drift
+in either model, the controller, or the experiment plumbing shows up as
+a summary mismatch here before it can silently shift a figure.
+"""
+
+import pytest
+
+from repro.config import baseline_nvm, fgnvm
+from repro.config.params import BankArchitecture
+from repro.config.validate import validate_config
+from repro.sim.experiment import run_benchmark
+
+REQUESTS = 600
+BENCHMARKS = ("mcf", "lbm", "milc")
+SEEDS = (None, 7, 1234)
+
+
+def small(cfg):
+    cfg.org.rows_per_bank = 1024
+    return cfg
+
+
+def degenerate_fgnvm():
+    """The baseline config re-architected as a 1x1 FgNVM bank.
+
+    Everything else — controller policy, timing, geometry — is the
+    baseline's, so the only difference under test is the bank model
+    implementation itself.
+    """
+    cfg = small(baseline_nvm())
+    cfg.org.architecture = BankArchitecture.FGNVM
+    cfg.org.subarray_groups = 1
+    cfg.org.column_divisions = 1
+    cfg.name = "fgnvm-1x1-degenerate"
+    return validate_config(cfg)
+
+
+class TestDegenerateEquivalence:
+    @pytest.mark.parametrize("bench", BENCHMARKS)
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_cycle_identical_summaries(self, bench, seed):
+        base = run_benchmark(small(baseline_nvm()), bench, REQUESTS,
+                             seed=seed)
+        deg = run_benchmark(degenerate_fgnvm(), bench, REQUESTS,
+                            seed=seed)
+        base_summary = base.summary()
+        deg_summary = deg.summary()
+        # The config label legitimately differs; everything else must not.
+        base_summary.pop("config")
+        deg_summary.pop("config")
+        assert deg_summary == base_summary
+        assert deg.cycles == base.cycles
+        assert deg.ipc == base.ipc
+        assert deg.energy.total_pj == base.energy.total_pj
+
+    def test_epoch_series_identical(self):
+        base_cfg = small(baseline_nvm())
+        base_cfg.sim.epoch_cycles = 500
+        deg_cfg = degenerate_fgnvm()
+        deg_cfg.sim.epoch_cycles = 500
+        base = run_benchmark(base_cfg, "mcf", REQUESTS)
+        deg = run_benchmark(deg_cfg, "mcf", REQUESTS)
+        assert deg.epochs == base.epochs
+
+
+class TestSubdivisionNeverHurts:
+    """More tiles can only add parallelism, never serialise anything.
+
+    The degenerate 1x1 FgNVM preset (eager-write controller included) is
+    the floor: every real subdivision must meet or beat its IPC on every
+    benchmark.
+    """
+
+    @pytest.mark.parametrize("bench", BENCHMARKS)
+    @pytest.mark.parametrize("sags,cds", [(4, 4), (8, 2), (8, 8)])
+    def test_multi_tile_not_slower_than_degenerate(self, bench, sags, cds):
+        floor = run_benchmark(small(fgnvm(1, 1)), bench, REQUESTS)
+        tiled = run_benchmark(small(fgnvm(sags, cds)), bench, REQUESTS)
+        assert tiled.ipc >= floor.ipc

@@ -1,0 +1,75 @@
+"""Golden end-to-end regression pins: exact workloads, banded metrics.
+
+Three (preset, benchmark) pairs run at a short trace length and their
+headline metrics — IPC, total energy, average read latency, row-hit
+rate, cycle count — are pinned against values recorded from the current
+model (rel. tolerance 2%).  A refactor that changes any simulated
+behaviour, even subtly, trips these before it can silently shift a
+published figure; a refactor that only reorganises code passes
+untouched.
+
+When a *deliberate* modelling change moves the numbers: re-record the
+constants below and bump `repro.sim.parallel.CODE_VERSION` in the same
+commit, so stale on-disk caches are invalidated together with the pins.
+"""
+
+import pytest
+
+from repro.config import baseline_nvm, fgnvm
+from repro.sim.experiment import run_benchmark
+
+REQUESTS = 1500
+TOLERANCE = 0.02
+
+#: (label, config builder, benchmark) -> pinned metrics at REQUESTS=1500.
+GOLDEN = {
+    ("baseline-nvm", "mcf"): dict(
+        build=baseline_nvm,
+        ipc=0.18538372859025032,
+        cycles=15180,
+        row_hit_rate=0.09569798068481124,
+        avg_read_latency=107.23090430201931,
+        energy_pj=25608918.13888,
+    ),
+    ("fgnvm-8x2", "mcf"): dict(
+        build=lambda: fgnvm(8, 2),
+        ipc=0.24620516185476815,
+        cycles=11430,
+        row_hit_rate=0.11764705882352941,
+        avg_read_latency=82.37928007023704,
+        energy_pj=13757715.57888,
+    ),
+    ("fgnvm-8x8", "lbm"): dict(
+        build=lambda: fgnvm(8, 8),
+        ipc=0.3132864278167323,
+        cycles=10411,
+        row_hit_rate=0.25031446540880503,
+        avg_read_latency=65.65157232704402,
+        energy_pj=7338571.595776,
+    ),
+}
+
+
+@pytest.mark.parametrize("label,bench", sorted(GOLDEN))
+def test_golden_metrics(label, bench):
+    golden = GOLDEN[(label, bench)]
+    result = run_benchmark(golden["build"](), bench, REQUESTS)
+    assert result.ipc == pytest.approx(golden["ipc"], rel=TOLERANCE)
+    assert result.cycles == pytest.approx(golden["cycles"], rel=TOLERANCE)
+    assert result.stats.row_hit_rate == pytest.approx(
+        golden["row_hit_rate"], rel=TOLERANCE
+    )
+    assert result.stats.avg_read_latency == pytest.approx(
+        golden["avg_read_latency"], rel=TOLERANCE
+    )
+    assert result.energy.total_pj == pytest.approx(
+        golden["energy_pj"], rel=TOLERANCE
+    )
+
+
+def test_golden_run_is_reproducible_bitwise():
+    """Two identical runs agree exactly, not just within tolerance."""
+    first = run_benchmark(fgnvm(8, 2), "mcf", REQUESTS)
+    second = run_benchmark(fgnvm(8, 2), "mcf", REQUESTS)
+    assert first.summary() == second.summary()
+    assert first.ipc == second.ipc

@@ -1,0 +1,199 @@
+"""Unit tests for the parallel experiment engine and its caches."""
+
+import pickle
+
+import pytest
+
+from repro.config import baseline_nvm, fgnvm
+from repro.errors import ExperimentError
+from repro.sim.experiment import ExperimentCache, run_benchmark
+from repro.sim.parallel import (
+    CODE_VERSION,
+    DiskResultCache,
+    ExperimentJob,
+    ParallelExperimentEngine,
+    ProgressEvent,
+    canonical_config,
+    config_digest,
+    execute_job,
+    job_key,
+)
+
+REQUESTS = 300
+
+
+def small(cfg):
+    cfg.org.rows_per_bank = 512
+    return cfg
+
+
+def job(benchmark="sphinx3", requests=REQUESTS, seed=None, config=None):
+    return ExperimentJob(
+        config if config is not None else small(fgnvm(4, 4)),
+        benchmark,
+        requests,
+        seed,
+    )
+
+
+class TestKeys:
+    def test_canonical_config_stable_across_construction(self):
+        assert canonical_config(baseline_nvm()) == canonical_config(
+            baseline_nvm()
+        )
+        assert config_digest(fgnvm(8, 2)) == config_digest(fgnvm(8, 2))
+
+    def test_canonical_config_serializes_enums(self):
+        text = canonical_config(baseline_nvm())
+        assert '"architecture":"baseline"' in text
+        assert '"scheduler":"frfcfs"' in text
+
+    def test_key_distinct_across_configs(self):
+        assert job_key(job(config=small(fgnvm(4, 4)))) != job_key(
+            job(config=small(fgnvm(8, 2)))
+        )
+
+    def test_key_distinct_across_trace_parameters(self):
+        base = job_key(job())
+        assert job_key(job(benchmark="mcf")) != base
+        assert job_key(job(requests=REQUESTS + 1)) != base
+        assert job_key(job(seed=7)) != base
+
+    def test_key_distinct_across_code_versions(self):
+        assert job_key(job(), code_version="other") != job_key(
+            job(), code_version=CODE_VERSION
+        )
+
+    def test_execute_job_matches_run_benchmark(self):
+        direct = run_benchmark(small(fgnvm(4, 4)), "sphinx3", REQUESTS)
+        via_job = execute_job(job())
+        assert via_job.summary() == direct.summary()
+
+    def test_seed_override_changes_trace(self):
+        assert execute_job(job(seed=99)).summary() != execute_job(
+            job()
+        ).summary()
+
+
+class TestDiskResultCache:
+    def test_round_trip(self, tmp_path):
+        cache = DiskResultCache(tmp_path)
+        result = execute_job(job())
+        cache.put("ab" * 32, result)
+        loaded = cache.get("ab" * 32)
+        assert loaded.summary() == result.summary()
+        assert len(cache) == 1
+        assert cache.keys() == ["ab" * 32]
+
+    def test_miss_returns_none(self, tmp_path):
+        assert DiskResultCache(tmp_path).get("cd" * 32) is None
+
+    def test_corrupt_blob_treated_as_miss_and_removed(self, tmp_path):
+        cache = DiskResultCache(tmp_path)
+        key = "ef" * 32
+        path = cache._path(key)
+        path.parent.mkdir(parents=True)
+        path.write_bytes(b"not a pickle")
+        assert cache.get(key) is None
+        assert not path.exists()
+
+    def test_purge(self, tmp_path):
+        cache = DiskResultCache(tmp_path)
+        cache.put("ab" * 32, execute_job(job()))
+        assert cache.purge() == 1
+        assert len(cache) == 0
+
+
+class TestEngineSerial:
+    def test_run_matches_run_benchmark(self):
+        engine = ParallelExperimentEngine(workers=1)
+        cfg = small(fgnvm(4, 4))
+        assert engine.run(cfg, "sphinx3", REQUESTS).summary() == \
+            run_benchmark(cfg, "sphinx3", REQUESTS).summary()
+
+    def test_memory_memoisation(self):
+        engine = ParallelExperimentEngine(workers=1)
+        cfg = small(fgnvm(4, 4))
+        first = engine.run(cfg, "sphinx3", REQUESTS)
+        second = engine.run(cfg, "sphinx3", REQUESTS)
+        assert first is second
+        assert engine.stats.executed == 1
+        assert engine.stats.memory_hits == 1
+        assert len(engine) == 1
+
+    def test_duplicate_jobs_in_one_batch_simulate_once(self):
+        engine = ParallelExperimentEngine(workers=1)
+        results = engine.run_jobs([job(), job()])
+        assert engine.stats.executed == 1
+        assert results[0] is results[1]
+
+    def test_results_in_job_order(self):
+        engine = ParallelExperimentEngine(workers=1)
+        jobs = [job(benchmark="sphinx3"), job(benchmark="mcf")]
+        results = engine.run_jobs(jobs)
+        assert [r.config.name for r in results] == [
+            j.config.name for j in jobs
+        ]
+        assert results[0].summary() != results[1].summary()
+
+    def test_invalid_workers_rejected(self):
+        with pytest.raises(ExperimentError):
+            ParallelExperimentEngine(workers=0)
+
+    def test_map_serial(self):
+        engine = ParallelExperimentEngine(workers=1)
+        assert engine.map(len, ["ab", "c"]) == [2, 1]
+
+    def test_duck_types_experiment_cache(self):
+        """Everything accepting an ExperimentCache accepts an engine."""
+        for attr in ("run", "__len__"):
+            assert hasattr(ParallelExperimentEngine(), attr)
+            assert hasattr(ExperimentCache(), attr)
+
+
+class TestEngineDisk:
+    def test_disk_hits_survive_new_engine(self, tmp_path):
+        cfg = small(fgnvm(4, 4))
+        first = ParallelExperimentEngine(workers=1, cache_dir=tmp_path)
+        result = first.run(cfg, "sphinx3", REQUESTS)
+        assert first.stats.executed == 1
+
+        second = ParallelExperimentEngine(workers=1, cache_dir=tmp_path)
+        warm = second.run(cfg, "sphinx3", REQUESTS)
+        assert second.stats.executed == 0
+        assert second.stats.disk_hits == 1
+        assert warm.summary() == result.summary()
+
+    def test_code_version_invalidates_disk_cache(self, tmp_path):
+        cfg = small(fgnvm(4, 4))
+        ParallelExperimentEngine(workers=1, cache_dir=tmp_path).run(
+            cfg, "sphinx3", REQUESTS
+        )
+        bumped = ParallelExperimentEngine(
+            workers=1, cache_dir=tmp_path, code_version="vNext"
+        )
+        bumped.run(cfg, "sphinx3", REQUESTS)
+        assert bumped.stats.executed == 1
+        assert bumped.stats.disk_hits == 0
+
+    def test_cached_result_pickle_round_trips_summary(self, tmp_path):
+        result = execute_job(job())
+        clone = pickle.loads(pickle.dumps(result))
+        assert clone.summary() == result.summary()
+        assert clone.ipc == result.ipc
+        assert clone.energy.total_pj == result.energy.total_pj
+
+
+class TestProgress:
+    def test_progress_events_cover_batch(self):
+        events = []
+        engine = ParallelExperimentEngine(workers=1, progress=events.append)
+        engine.run_jobs([job(benchmark="sphinx3"), job(benchmark="mcf")])
+        assert events[0].done == 0 and events[0].total == 2
+        assert events[-1].done == 2 and events[-1].total == 2
+        assert all(e.elapsed_s >= 0 for e in events)
+
+    def test_eta_semantics(self):
+        assert ProgressEvent(0, 4, 1.0, 0).eta_s is None
+        assert ProgressEvent(2, 4, 10.0, 0).eta_s == pytest.approx(10.0)
+        assert ProgressEvent(4, 4, 10.0, 0).eta_s == 0.0

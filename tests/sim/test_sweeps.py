@@ -3,7 +3,8 @@
 import pytest
 
 from repro.config import fgnvm
-from repro.errors import ConfigError
+from repro.errors import ConfigError, ExperimentError
+from repro.sim.parallel import ParallelExperimentEngine
 from repro.sim.sweeps import (
     SweepResult,
     parameter_sweep,
@@ -76,3 +77,44 @@ class TestParameterSweep:
     def test_render_empty(self):
         text = render_sweep(SweepResult("x", "mcf", []))
         assert "empty" in text
+
+    def test_engine_routed_sweep_matches_serial(self):
+        engine = ParallelExperimentEngine(workers=1)
+        direct = parameter_sweep(
+            base(), "org.column_divisions", [1, 2], "sphinx3", requests=300
+        )
+        routed = parameter_sweep(
+            base(), "org.column_divisions", [1, 2], "sphinx3",
+            requests=300, engine=engine,
+        )
+        assert [r.summary() for r in routed.results] == \
+            [r.summary() for r in direct.results]
+        assert engine.stats.executed == 2
+
+
+class TestSweepResultErrors:
+    def empty(self) -> SweepResult:
+        return SweepResult("org.column_divisions", "mcf", [])
+
+    def populated(self) -> SweepResult:
+        return parameter_sweep(
+            base(), "org.column_divisions", [1], "sphinx3", requests=300
+        )
+
+    def test_rows_on_empty_sweep_raises_clearly(self):
+        with pytest.raises(ExperimentError, match="holds no results"):
+            self.empty().rows()
+
+    def test_metric_on_empty_sweep_raises_clearly(self):
+        with pytest.raises(ExperimentError, match="holds no results"):
+            self.empty().metric("ipc")
+
+    def test_unknown_metric_raises_with_available_names(self):
+        with pytest.raises(ExperimentError) as excinfo:
+            self.populated().metric("iops")
+        message = str(excinfo.value)
+        assert "iops" in message
+        assert "ipc" in message  # names the metrics that do exist
+
+    def test_known_metric_still_works(self):
+        assert len(self.populated().metric("ipc")) == 1
