@@ -42,19 +42,25 @@ def requests() -> int:
 
 
 @pytest.fixture(scope="session")
-def cache() -> ParallelExperimentEngine:
+def cache():
     """One experiment engine for the whole bench session.
 
     Figure 4, Figure 5 and the headline bench share baseline runs, so
     the expensive simulations happen exactly once each; with
     ``REPRO_BENCH_WORKERS`` > 1 each figure's grid fans out across a
     process pool, and ``REPRO_BENCH_CACHE_DIR`` persists every result
-    across sessions.
+    across sessions.  When a cache dir is set, the session ends by
+    writing ``<cache-dir>/run-manifest.json`` — per-job provenance plus
+    engine counters — so CI can archive what the smoke run actually did.
     """
-    return ParallelExperimentEngine(
+    engine = ParallelExperimentEngine(
         workers=bench_workers(),
         cache_dir=os.environ.get("REPRO_BENCH_CACHE_DIR") or None,
     )
+    yield engine
+    manifest_path = engine.write_manifest()
+    if manifest_path is not None:
+        print(f"\n[bench] run manifest: {manifest_path}")
 
 
 @pytest.fixture(scope="session")

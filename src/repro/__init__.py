@@ -24,10 +24,12 @@ Package map:
 * :mod:`repro.cpu` — ROB-limited trace-replay CPU (the gem5 stand-in),
 * :mod:`repro.workloads` — SPEC2006-like profiles and synthetic kernels,
 * :mod:`repro.sim` — simulation loop, experiment runner, reporting,
+* :mod:`repro.obs` — structured instrumentation: event bus, metric
+  registry, trace exporters, run manifests,
 * :mod:`repro.analysis` — regenerators for every paper table and figure.
 """
 
-from . import analysis, config, core, cpu, memsys, sim, units, workloads
+from . import analysis, config, core, cpu, memsys, obs, sim, units, workloads
 from .errors import (
     AddressError,
     ConfigError,
@@ -47,6 +49,7 @@ __all__ = [
     "core",
     "cpu",
     "memsys",
+    "obs",
     "sim",
     "units",
     "workloads",

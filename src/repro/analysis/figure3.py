@@ -18,6 +18,7 @@ from ..core.fgnvm_bank import make_fgnvm_bank
 from ..memsys.address import AddressMapper
 from ..memsys.request import MemRequest, OpType
 from ..memsys.stats import StatsCollector
+from ..obs.events import TimelineSink, make_probe
 from ..sim.timeline import TimelineEvent, overlap_summary, render_timeline
 
 
@@ -37,18 +38,29 @@ class Scenario:
 
 
 class _Bench:
-    """A 2x2 FgNVM bank with an event log and coordinate helpers."""
+    """A probed 2x2 FgNVM bank with coordinate helpers.
+
+    The bank publishes issue events on the structured bus; a
+    :class:`~repro.obs.events.TimelineSink` turns them into the tuples
+    the ASCII renderers consume — the Figure-3 panels are therefore
+    pure event-stream consumers.
+    """
 
     def __init__(self):
         cfg = fgnvm(2, 2)
         cfg.org.rows_per_bank = 64
         self.cfg = cfg
         self.stats = StatsCollector()
+        self.timeline = TimelineSink()
         self.bank = make_fgnvm_bank(
             0, cfg.org, cfg.timing.cycles(), self.stats
         )
-        self.bank.event_log = []
+        self.bank.probe = make_probe(self.timeline)
         self.mapper = AddressMapper(cfg.org)
+
+    @property
+    def events(self) -> List[TimelineEvent]:
+        return self.timeline.events
 
     def request(self, sag: int, cd: int, write: bool = False,
                 row_in_sag: int = 0) -> MemRequest:
@@ -73,8 +85,7 @@ def partial_activation() -> Scenario:
     """
     bench = _Bench()
     bench.issue(bench.request(sag=0, cd=0))
-    return Scenario("a: Partial-Activation", bench.bank.event_log,
-                    bench.stats)
+    return Scenario("a: Partial-Activation", bench.events, bench.stats)
 
 
 def multi_activation() -> Scenario:
@@ -86,8 +97,7 @@ def multi_activation() -> Scenario:
     bench = _Bench()
     first = bench.issue(bench.request(sag=0, cd=0))
     bench.issue(bench.request(sag=1, cd=1), not_before=first + 1)
-    return Scenario("b: Multi-Activation", bench.bank.event_log,
-                    bench.stats)
+    return Scenario("b: Multi-Activation", bench.events, bench.stats)
 
 
 def backgrounded_write() -> Scenario:
@@ -99,8 +109,7 @@ def backgrounded_write() -> Scenario:
     bench = _Bench()
     first = bench.issue(bench.request(sag=1, cd=1, write=True))
     bench.issue(bench.request(sag=0, cd=0), not_before=first + 1)
-    return Scenario("c: Backgrounded Write", bench.bank.event_log,
-                    bench.stats)
+    return Scenario("c: Backgrounded Write", bench.events, bench.stats)
 
 
 #: Panel builders in figure order, keyed by the panel letter.

@@ -17,11 +17,20 @@ the CLI does can be scripted directly (see ``examples/``).
 from __future__ import annotations
 
 import argparse
+import dataclasses
+import json
 import sys
 from typing import Callable, Dict, List, Optional
 
 from . import analysis
 from .errors import ReproError
+from .obs import (
+    ListSink,
+    MetricRegistry,
+    export_events,
+    inspect_trace,
+    make_probe,
+)
 from .config import (
     SystemConfig,
     baseline_nvm,
@@ -34,9 +43,11 @@ from .sim import (
     compare_architectures,
     default_engine,
     dict_table,
+    epoch_table,
     parameter_sweep,
     progress_printer,
     render_sweep,
+    run_benchmark,
     run_trace,
     series_table,
 )
@@ -122,24 +133,74 @@ def _cmd_list(args) -> int:
     return 0
 
 
+def _with_epoch_cycles(config: SystemConfig, args) -> SystemConfig:
+    """Apply ``--epoch-cycles`` to a config (new object, same name)."""
+    epoch_cycles = getattr(args, "epoch_cycles", 0)
+    if not epoch_cycles:
+        return config
+    return dataclasses.replace(
+        config,
+        sim=dataclasses.replace(config.sim, epoch_cycles=epoch_cycles),
+    )
+
+
+def _instrumentation(args):
+    """(probe, sink, registry) when ``--emit-*`` asked for events."""
+    if not (getattr(args, "emit_trace", None)
+            or getattr(args, "emit_metrics", None)):
+        return None, None, None
+    sink = ListSink()
+    registry = MetricRegistry()
+    return make_probe(sink, registry), sink, registry
+
+
+def _emit_artifacts(args, sink, registry) -> None:
+    if args.emit_trace:
+        count = export_events(sink.events, args.emit_trace)
+        print(f"wrote {count} events to {args.emit_trace}", file=sys.stderr)
+    if args.emit_metrics:
+        with open(args.emit_metrics, "w", encoding="utf-8") as handle:
+            json.dump(registry.summary(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote metrics to {args.emit_metrics}", file=sys.stderr)
+
+
 def _cmd_run(args) -> int:
-    config = build_config(args.config)
+    config = _with_epoch_cycles(build_config(args.config), args)
+    probe, sink, registry = _instrumentation(args)
     if args.trace:
-        result = run_trace(config, read_trace(args.trace))
+        result = run_trace(config, read_trace(args.trace), probe=probe)
         workload = args.trace
+    elif probe is not None:
+        # Instrumented runs execute in-process: the event stream is the
+        # product, so the result cache/pool must not satisfy the job.
+        registry.begin_run(args.benchmark)
+        result = run_benchmark(
+            config, args.benchmark, args.requests, probe=probe
+        )
+        workload = args.benchmark
     else:
         engine = _make_engine(args)
         result = engine.run(config, args.benchmark, args.requests)
         _report_engine(args, engine)
         workload = args.benchmark
+    if probe is not None:
+        _emit_artifacts(args, sink, registry)
     print(f"{config.name} on {workload}:")
     print(dict_table(result.summary()))
+    if result.epochs:
+        cpu_ratio = config.cpu.cpu_cycles_per_mem_cycle(config.timing.tck_ns)
+        print()
+        print(epoch_table(result.epochs, config.sim.epoch_cycles, cpu_ratio))
     return 0
 
 
 def _cmd_compare(args) -> int:
     engine = _make_engine(args)
-    configs = {name: build_config(name) for name in args.configs}
+    configs = {
+        name: _with_epoch_cycles(build_config(name), args)
+        for name in args.configs
+    }
     results = compare_architectures(
         configs, args.benchmark, args.requests, cache=engine
     )
@@ -257,6 +318,11 @@ def _cmd_reproduce(args) -> int:
     return 0 if manifest.clean else 1
 
 
+def _cmd_inspect(args) -> int:
+    print(inspect_trace(args.trace, timeline_width=args.timeline))
+    return 0
+
+
 def _cmd_trace_gen(args) -> int:
     profile = get_profile(args.profile)
     records = generate_trace(profile, args.count)
@@ -283,6 +349,20 @@ def make_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--benchmark", default="mcf")
     run_p.add_argument("--requests", type=int, default=5000)
     run_p.add_argument("--trace", help="replay a native trace file instead")
+    run_p.add_argument(
+        "--epoch-cycles", type=int, default=0,
+        help="record per-epoch counter deltas every N memory cycles "
+             "and print the epoch table",
+    )
+    run_p.add_argument(
+        "--emit-trace", metavar="PATH",
+        help="write the structured event stream (.jsonl = JSONL event "
+             "log, anything else = Chrome-trace JSON for Perfetto)",
+    )
+    run_p.add_argument(
+        "--emit-metrics", metavar="PATH",
+        help="write the per-tile metric registry summary as JSON",
+    )
     _add_engine_flags(run_p)
 
     for name in ("figure4", "figure5"):
@@ -297,6 +377,10 @@ def make_parser() -> argparse.ArgumentParser:
                        choices=sorted(CONFIG_BUILDERS))
     cmp_p.add_argument("--benchmark", default="mcf")
     cmp_p.add_argument("--requests", type=int, default=3000)
+    cmp_p.add_argument(
+        "--epoch-cycles", type=int, default=0,
+        help="record per-epoch counter deltas every N memory cycles",
+    )
     _add_engine_flags(cmp_p)
 
     sweep_p = sub.add_parser("sweep", help="sweep one config knob")
@@ -326,6 +410,15 @@ def make_parser() -> argparse.ArgumentParser:
     rep_p.add_argument("--benchmarks", nargs="*", default=[])
     _add_engine_flags(rep_p)
 
+    ins_p = sub.add_parser(
+        "inspect", help="summarize an exported event trace"
+    )
+    ins_p.add_argument("trace", help="JSONL event log or Chrome-trace JSON")
+    ins_p.add_argument(
+        "--timeline", type=int, default=0, metavar="WIDTH",
+        help="also render an ASCII tile timeline WIDTH columns wide",
+    )
+
     gen_p = sub.add_parser("trace-gen", help="write a profile trace")
     gen_p.add_argument("--profile", default="mcf")
     gen_p.add_argument("--count", type=int, default=10_000)
@@ -347,6 +440,7 @@ _HANDLERS = {
     "table2": _cmd_table2,
     "headline": _cmd_headline,
     "reproduce": _cmd_reproduce,
+    "inspect": _cmd_inspect,
     "trace-gen": _cmd_trace_gen,
 }
 

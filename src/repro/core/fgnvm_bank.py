@@ -46,6 +46,14 @@ from ..memsys.request import (
     MemRequest,
 )
 from ..memsys.stats import StatsCollector
+from ..obs.events import (
+    EV_ISSUE,
+    EV_SENSE,
+    EV_WRITE_PULSE,
+    NULL_PROBE,
+    Event,
+    Probe,
+)
 from ..units import BITS_PER_BYTE
 from .tile import KIND_SENSE, KIND_WRITE, TileGrid
 
@@ -82,6 +90,8 @@ class FgNvmBank:
         per_sag_buffers: bool = False,
         event_log: "list | None" = None,
         close_page: bool = False,
+        probe: Probe = NULL_PROBE,
+        channel: int = 0,
     ):
         self.bank_id = bank_id
         self.subarray_groups = subarray_groups
@@ -117,6 +127,11 @@ class FgNvmBank:
         #: tuples appended per issued operation.  None disables logging
         #: (the default; the timeline tools switch it on).
         self.event_log = event_log
+        #: Structured event bus (no-op unless a sink is attached); the
+        #: owning controller overwrites ``probe`` and ``channel`` when
+        #: the simulation is instrumented.
+        self.probe = probe
+        self.channel = channel
         #: Close-page policy: drop the wordline and invalidate the
         #: touched buffer slices after every access.
         self.close_page = close_page
@@ -239,9 +254,8 @@ class FgNvmBank:
                 self.stats.count_read_under_write()
             bus_start = now + t.tcas_hit
             ready = bus_start + t.tburst
-            if self.event_log is not None:
-                for cd in cds:
-                    self.event_log.append((now, ready, sag, cd, kind))
+            self._note(req, kind, now, ready, sag, cds,
+                       overlapping_reads, overlapping_writes)
             return IssueResult(kind, bus_start, ready, now)
 
         if kind == SERVICE_UNDERFETCH:
@@ -250,15 +264,17 @@ class FgNvmBank:
                 self.grid.occupy_cd(cd, now, t.tcas, KIND_SENSE)
                 self._latch(sag, cd, dec.row)
             self.grid.extend_sag(sag, until, KIND_SENSE)
-            if self.event_log is not None:
-                for cd in cds:
-                    self.event_log.append((now, until, sag, cd, kind))
+            self._note(req, kind, now, until, sag, cds,
+                       overlapping_reads, overlapping_writes)
             self.stats.count_read_issue(kind)
             self.stats.count_sense(
                 self.sense_bits * len(cds),
                 overlapping_reads,
                 overlapping_writes,
             )
+            self._note_sense(req, kind, now, until, sag, cds[0],
+                             self.sense_bits * len(cds),
+                             overlapping_reads, overlapping_writes)
             bus_start = now + t.tcas
             return IssueResult(kind, bus_start, bus_start + t.tburst, until)
 
@@ -269,9 +285,8 @@ class FgNvmBank:
                 self.grid.occupy_cd(cd, now, duration, KIND_SENSE)
                 self._latch(sag, cd, dec.row)
             self.grid.occupy_sag_exclusive(sag, now, duration, KIND_SENSE)
-            if self.event_log is not None:
-                for cd in cds:
-                    self.event_log.append((now, until, sag, cd, kind))
+            self._note(req, kind, now, until, sag, cds,
+                       overlapping_reads, overlapping_writes)
             self.open_row[sag] = dec.row
             self.row_ready[sag] = now + t.trcd
             self.stats.count_read_issue(kind)
@@ -280,6 +295,9 @@ class FgNvmBank:
                 overlapping_reads,
                 overlapping_writes,
             )
+            self._note_sense(req, kind, now, until, sag, cds[0],
+                             self.sense_bits * len(cds),
+                             overlapping_reads, overlapping_writes)
             bus_start = now + duration
             return IssueResult(kind, bus_start, bus_start + t.tburst, until)
 
@@ -294,9 +312,8 @@ class FgNvmBank:
             # (write-allocate into the row buffer).
             self._latch(sag, cd, dec.row)
         self.grid.occupy_sag_exclusive(sag, now, duration, KIND_WRITE)
-        if self.event_log is not None:
-            for cd in cds:
-                self.event_log.append((now, until, sag, cd, kind))
+        self._note(req, kind, now, until, sag, cds,
+                   overlapping_reads, overlapping_writes)
         self.open_row[sag] = dec.row
         if kind == SERVICE_WRITE_MISS:
             self.row_ready[sag] = now + t.trcd
@@ -306,17 +323,66 @@ class FgNvmBank:
                 self.stats.count_sense(
                     self.sense_bits * self.column_divisions, 0, 0
                 )
+                self._note_sense(req, kind, now, until, sag, cds[0],
+                                 self.sense_bits * self.column_divisions,
+                                 0, 0)
                 for cd in range(self.column_divisions):
                     self._latch(sag, cd, dec.row)
             else:
                 # FgNVM: the activation senses only the CD slice(s) the
                 # CSL registers select for this write.
                 self.stats.count_sense(self.sense_bits * len(cds), 0, 0)
+                self._note_sense(req, kind, now, until, sag, cds[0],
+                                 self.sense_bits * len(cds), 0, 0)
         self.stats.count_write_issue(
             self.write_bits, overlapping_reads + overlapping_writes
         )
+        if self.probe.enabled:
+            self.probe.emit(Event(
+                EV_WRITE_PULSE, now, end=until, req_id=req.req_id,
+                op=req.op.value, service=kind, channel=self.channel,
+                bank=self.bank_id, sag=sag, cd=cds[0],
+                bits=self.write_bits, overlap_reads=overlapping_reads,
+                overlap_writes=overlapping_writes,
+            ))
         bus_start = now + activation + t.tcwd
         return IssueResult(kind, bus_start, until, until)
+
+    # -- instrumentation -------------------------------------------------------
+
+    def _note(self, req: MemRequest, kind: str, start: int, end: int,
+              sag: int, cds: Tuple[int, ...], overlapping_reads: int,
+              overlapping_writes: int) -> None:
+        """Record one committed operation: legacy log + event bus.
+
+        One ``issue`` event per touched CD; ``value`` carries the CD
+        offset within the access so consumers can count multi-CD
+        accesses once (offset 0 is the base tile).
+        """
+        if self.event_log is not None:
+            for cd in cds:
+                self.event_log.append((start, end, sag, cd, kind))
+        if self.probe.enabled:
+            for offset, cd in enumerate(cds):
+                self.probe.emit(Event(
+                    EV_ISSUE, start, end=end, req_id=req.req_id,
+                    op=req.op.value, service=kind, channel=self.channel,
+                    bank=self.bank_id, sag=sag, cd=cd,
+                    overlap_reads=overlapping_reads,
+                    overlap_writes=overlapping_writes, value=offset,
+                ))
+
+    def _note_sense(self, req: MemRequest, kind: str, start: int, end: int,
+                    sag: int, cd: int, bits: int, overlapping_reads: int,
+                    overlapping_writes: int) -> None:
+        if self.probe.enabled:
+            self.probe.emit(Event(
+                EV_SENSE, start, end=end, req_id=req.req_id,
+                op=req.op.value, service=kind, channel=self.channel,
+                bank=self.bank_id, sag=sag, cd=cd, bits=bits,
+                overlap_reads=overlapping_reads,
+                overlap_writes=overlapping_writes,
+            ))
 
     def active_writes(self, now: int) -> int:
         """Writes currently driving cells in this bank (throttle query)."""

@@ -24,6 +24,7 @@ from ..config.params import CpuParams
 from ..memsys.controller import MemoryController  # noqa: F401 (doc type)
 from ..memsys.request import MemRequest, OpType
 from ..memsys.stats import StatsCollector
+from ..obs.events import EV_CPU_STALL, NULL_PROBE, Event, Probe
 from ..workloads.record import TraceRecord
 from .rob import ReorderBuffer
 
@@ -39,12 +40,14 @@ class TraceCpu:
         stats: StatsCollector,
         tck_ns: float,
         owner: int = 0,
+        probe: Probe = NULL_PROBE,
     ):
         self.params = params
         self.controller = controller
         #: Core index stamped on every request (multi-core routing).
         self.owner = owner
         self.stats = stats
+        self.probe = probe
         self.rob = ReorderBuffer(params.rob_entries)
         self._trace: Iterator[TraceRecord] = iter(trace)
         self._current: Optional[TraceRecord] = None
@@ -94,8 +97,14 @@ class TraceCpu:
         self.stats.instructions += retired
         if retired == 0 and self.rob.head_blocked():
             self.retire_stall_cycles += 1
+            if self.probe.enabled:
+                self.probe.emit(Event(EV_CPU_STALL, now, service="retire",
+                                      value=self.owner))
         if fetched == 0 and not self._trace_done and self.rob.free_slots == 0:
             self.fetch_stall_cycles += 1
+            if self.probe.enabled:
+                self.probe.emit(Event(EV_CPU_STALL, now, service="fetch",
+                                      value=self.owner))
 
     def _fetch(self, now: int, budget: int) -> int:
         """Bring up to ``budget`` instructions into the window."""
@@ -112,9 +121,9 @@ class TraceCpu:
             record = self._current
             if record.op is OpType.READ:
                 if (self._mshrs_in_use >= self.params.mshr_entries
+                        or self.rob.free_slots < 1
                         or not self.controller.can_accept(
-                            OpType.READ, record.address)
-                        or self.rob.free_slots < 1):
+                            OpType.READ, record.address, now)):
                     break
                 req = MemRequest(OpType.READ, record.address,
                                  owner=self.owner)
@@ -127,8 +136,7 @@ class TraceCpu:
                 if self.rob.free_slots < 1:
                     break
                 if not self.controller.can_accept(
-                        OpType.WRITE, record.address):
-                    self.stats.write_queue_full_events += 1
+                        OpType.WRITE, record.address, now):
                     break
                 req = MemRequest(OpType.WRITE, record.address,
                                  owner=self.owner)
@@ -169,7 +177,6 @@ class TraceCpu:
         if record.op is OpType.READ:
             return (
                 self._mshrs_in_use >= self.params.mshr_entries
-                or not self.controller.can_accept(
-                    OpType.READ, record.address)
+                or not self.controller.has_space(OpType.READ, record.address)
             )
-        return not self.controller.can_accept(OpType.WRITE, record.address)
+        return not self.controller.has_space(OpType.WRITE, record.address)

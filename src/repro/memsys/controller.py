@@ -23,6 +23,16 @@ from typing import List, Optional, Tuple
 
 from ..config.params import SystemConfig
 from ..errors import SimulationError
+from ..obs.events import (
+    EV_COMPLETE,
+    EV_DRAIN,
+    EV_ENQUEUE,
+    EV_ISSUE,
+    EV_QUEUE_STALL,
+    NULL_PROBE,
+    Event,
+    Probe,
+)
 from .address import AddressMapper
 from .bank_baseline import build_banks
 from .bus import CommandBus, DataBus
@@ -36,14 +46,20 @@ class MemoryController:
     """Cycle-level controller for one channel."""
 
     def __init__(self, config: SystemConfig, stats: StatsCollector,
-                 mapper: "AddressMapper | None" = None):
+                 mapper: "AddressMapper | None" = None,
+                 channel: int = 0, probe: Probe = NULL_PROBE):
         self.config = config
         self.stats = stats
+        self.channel = channel
+        self.probe = probe
         self.timing = config.timing.cycles()
         self.mapper = mapper if mapper is not None else AddressMapper(
             config.org
         )
         self.banks = build_banks(config.org, self.timing, stats)
+        for bank in self.banks:
+            bank.probe = probe
+            bank.channel = channel
         if config.controller.close_page:
             for bank in self.banks:
                 bank.close_page = True
@@ -63,12 +79,35 @@ class MemoryController:
         #: (completion_cycle, req_id, request) min-heap of in-flight reads.
         self._completions: List[Tuple[int, int, MemRequest]] = []
         self._flush_mode = False
+        self._was_draining = False
         self.forwarded_reads = 0
 
     # -- admission ----------------------------------------------------------
 
-    def can_accept(self, op: OpType, address: int = 0) -> bool:
-        """Queue-space check (``address`` accepted for facade parity)."""
+    def can_accept(self, op: OpType, address: int = 0, now: int = 0) -> bool:
+        """Admission attempt (``address`` accepted for facade parity).
+
+        A refusal is a queue-full *event*: it is counted in the stats
+        and published on the event bus.  Pure capacity polls (event
+        skipping, schedulers) must use :meth:`has_space` instead.
+        """
+        if self.has_space(op):
+            return True
+        if op is OpType.READ:
+            self.stats.read_queue_full_events += 1
+            depth = len(self.read_queue)
+        else:
+            self.stats.write_queue_full_events += 1
+            depth = len(self.write_queue)
+        if self.probe.enabled:
+            self.probe.emit(Event(
+                EV_QUEUE_STALL, now, op=op.value, channel=self.channel,
+                value=depth,
+            ))
+        return False
+
+    def has_space(self, op: OpType, address: int = 0) -> bool:
+        """Side-effect-free queue-space check."""
         if op is OpType.READ:
             return not self.read_queue.is_full
         return not self.write_queue.is_full
@@ -81,6 +120,13 @@ class MemoryController:
         """
         if req.decoded is None:
             req.decoded = self.mapper.decode(req.address)
+        if self.probe.enabled:
+            self.probe.emit(Event(
+                EV_ENQUEUE, now, req_id=req.req_id, op=req.op.value,
+                channel=self.channel, bank=req.decoded.flat_bank,
+                value=len(self.read_queue if req.is_read
+                          else self.write_queue),
+            ))
         if req.is_read:
             if self.write_queue.forwards(req.address):
                 req.mark_queued(now)
@@ -89,6 +135,12 @@ class MemoryController:
                 self.forwarded_reads += 1
                 self.stats.reads += 1
                 self.stats.row_hits += 1
+                if self.probe.enabled:
+                    self.probe.emit(Event(
+                        EV_ISSUE, now, end=done, req_id=req.req_id,
+                        op=req.op.value, service="forwarded",
+                        channel=self.channel, bank=req.decoded.flat_bank,
+                    ))
                 heapq.heappush(
                     self._completions, (done, req.req_id, req)
                 )
@@ -112,11 +164,24 @@ class MemoryController:
             req.mark_completed()
             if req.is_read:
                 self.stats.count_read_latency(req.latency)
+            if self.probe.enabled:
+                self.probe.emit(Event(
+                    EV_COMPLETE, now, req_id=req.req_id, op=req.op.value,
+                    service=req.service_kind, channel=self.channel,
+                    value=req.latency,
+                ))
             done.append(req)
         return done
 
     def _issue_phase(self, now: int) -> None:
         draining = self.write_queue.draining or self._flush_mode
+        if draining != self._was_draining:
+            self._was_draining = draining
+            if self.probe.enabled:
+                self.probe.emit(Event(
+                    EV_DRAIN, now, op="W", channel=self.channel,
+                    value=1 if draining else 0,
+                ))
         for _ in range(self.config.controller.issue_width):
             candidate = self._next_candidate(now, draining)
             if candidate is None:

@@ -129,7 +129,7 @@ class StatsCollector:
 
     def as_dict(self) -> Dict[str, float]:
         """Flat summary for reporting and EXPERIMENTS.md tables."""
-        return {
+        data = {
             "cycles": self.cycles,
             "instructions": self.instructions,
             "reads": self.reads,
@@ -144,8 +144,14 @@ class StatsCollector:
             "write_bits": self.write_bits,
             "multi_activation_senses": self.multi_activation_senses,
             "reads_under_write": self.reads_under_write,
+            "writes_overlapped": self.writes_overlapped,
             "avg_read_latency_cycles": round(self.avg_read_latency, 2),
             "max_read_latency_cycles": self.read_latency_max,
             "read_queue_full_events": self.read_queue_full_events,
             "write_queue_full_events": self.write_queue_full_events,
+            "write_drain_entries": self.write_drain_entries,
         }
+        for edge, count in zip(LATENCY_BUCKETS, self.latency_histogram):
+            label = "inf" if edge == LATENCY_BUCKETS[-1] else str(edge)
+            data[f"latency_le_{label}"] = count
+        return data

@@ -1,0 +1,105 @@
+"""Structured observability: event bus, metric registry, exporters.
+
+The instrumentation layer for the whole reproduction:
+
+* :mod:`repro.obs.events` — the :class:`Event` wire format, the
+  :class:`Probe`/:class:`EventSink` bus (no-op when nothing listens),
+  and stock sinks (list, tee, timeline),
+* :mod:`repro.obs.registry` — hierarchical per-tile / per-SAG / per-CD
+  / per-run metric aggregation from the event stream,
+* :mod:`repro.obs.export` — JSONL event logs and Chrome-trace/Perfetto
+  JSON (``--emit-trace``),
+* :mod:`repro.obs.inspect` — post-hoc trace analysis
+  (``repro inspect <trace>``),
+* :mod:`repro.obs.manifest` — run provenance records written alongside
+  cached results.
+"""
+
+from .events import (
+    EV_COMPLETE,
+    EV_CPU_STALL,
+    EV_DRAIN,
+    EV_ENQUEUE,
+    EV_ISSUE,
+    EV_QUEUE_STALL,
+    EV_RUN_END,
+    EV_SENSE,
+    EV_WRITE_PULSE,
+    EVENT_KINDS,
+    NULL_PROBE,
+    Event,
+    EventSink,
+    ListSink,
+    Probe,
+    TeeSink,
+    TimelineSink,
+    make_probe,
+    tile_events,
+)
+from .export import (
+    JSONL_SCHEMA,
+    JsonlEventSink,
+    chrome_trace,
+    event_from_json,
+    event_to_json,
+    export_events,
+    read_events_jsonl,
+    write_chrome_trace,
+    write_events_jsonl,
+)
+from .inspect import (
+    inspect_trace,
+    load_events,
+    render_inspection,
+    summarize_events,
+)
+from .manifest import (
+    MANIFEST_SCHEMA,
+    JobRecord,
+    RunManifest,
+    read_manifest,
+)
+from .registry import MetricRegistry, RunMetrics, TileMetrics, tile_label
+
+__all__ = [
+    "EV_COMPLETE",
+    "EV_CPU_STALL",
+    "EV_DRAIN",
+    "EV_ENQUEUE",
+    "EV_ISSUE",
+    "EV_QUEUE_STALL",
+    "EV_RUN_END",
+    "EV_SENSE",
+    "EV_WRITE_PULSE",
+    "EVENT_KINDS",
+    "NULL_PROBE",
+    "Event",
+    "EventSink",
+    "ListSink",
+    "Probe",
+    "TeeSink",
+    "TimelineSink",
+    "make_probe",
+    "tile_events",
+    "JSONL_SCHEMA",
+    "JsonlEventSink",
+    "chrome_trace",
+    "event_from_json",
+    "event_to_json",
+    "export_events",
+    "read_events_jsonl",
+    "write_chrome_trace",
+    "write_events_jsonl",
+    "inspect_trace",
+    "load_events",
+    "render_inspection",
+    "summarize_events",
+    "MANIFEST_SCHEMA",
+    "JobRecord",
+    "RunManifest",
+    "read_manifest",
+    "MetricRegistry",
+    "RunMetrics",
+    "TileMetrics",
+    "tile_label",
+]

@@ -1,0 +1,207 @@
+"""Event-stream exporters: JSONL logs and Chrome-trace/Perfetto JSON.
+
+Two durable formats for the structured event stream:
+
+* **JSONL** — one JSON object per line, sentinel-default fields
+  stripped, first line a schema header.  Round-trips losslessly through
+  :func:`read_events_jsonl`, and is what ``repro inspect`` consumes.
+* **Chrome trace** — the ``traceEvents`` JSON that chrome://tracing and
+  https://ui.perfetto.dev open directly.  One *process* per
+  (channel, bank), one *thread lane* per (SAG, CD) tile — mirroring the
+  ASCII Gantt of :func:`repro.sim.timeline.render_timeline` — with
+  complete ("X") slices for tile occupancy and instant events for
+  queue stalls and drain transitions.  Timestamps are memory cycles
+  (1 cycle = 1 "us" in the viewer's units).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from pathlib import Path
+from typing import Dict, Iterable, List, TextIO
+
+from ..errors import ReproError
+from .events import (
+    EV_DRAIN,
+    EV_ISSUE,
+    EV_QUEUE_STALL,
+    EVENT_DEFAULTS,
+    Event,
+    EventSink,
+)
+
+#: JSONL schema identifier written as the header line.
+JSONL_SCHEMA = "repro-events-v1"
+
+
+def event_to_json(event: Event) -> Dict[str, object]:
+    """Compact dict form: sentinel-default fields are omitted."""
+    data: Dict[str, object] = {"kind": event.kind, "cycle": event.cycle}
+    for name, default in EVENT_DEFAULTS.items():
+        value = getattr(event, name)
+        if value != default:
+            data[name] = value
+    return data
+
+
+def event_from_json(data: Dict[str, object]) -> Event:
+    known = {f.name for f in dataclasses.fields(Event)}
+    return Event(**{k: v for k, v in data.items() if k in known})
+
+
+class JsonlEventSink:
+    """Stream events straight to an open JSONL file handle."""
+
+    def __init__(self, stream: TextIO):
+        self.stream = stream
+        self.written = 0
+        self.stream.write(json.dumps({"schema": JSONL_SCHEMA}) + "\n")
+
+    def on_event(self, event: Event) -> None:
+        self.stream.write(
+            json.dumps(event_to_json(event), separators=(",", ":")) + "\n"
+        )
+        self.written += 1
+
+
+def write_events_jsonl(events: Iterable[Event],
+                       path: "str | os.PathLike[str]") -> int:
+    """Write an event list as JSONL; returns the event count."""
+    with Path(path).open("w", encoding="utf-8") as handle:
+        sink = JsonlEventSink(handle)
+        for event in events:
+            sink.on_event(event)
+    return sink.written
+
+
+def read_events_jsonl(path: "str | os.PathLike[str]") -> List[Event]:
+    """Load a JSONL event log written by :class:`JsonlEventSink`."""
+    events: List[Event] = []
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for line_no, line in enumerate(handle):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                data = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ReproError(
+                    f"{path}:{line_no + 1}: not a JSONL event log ({exc})"
+                ) from exc
+            if "schema" in data and "kind" not in data:
+                if data["schema"] != JSONL_SCHEMA:
+                    raise ReproError(
+                        f"{path}: unsupported event schema {data['schema']!r}"
+                    )
+                continue
+            events.append(event_from_json(data))
+    return events
+
+
+# -- Chrome trace -----------------------------------------------------------
+
+
+def _lane_name(sag: int, cd: int) -> str:
+    return f"SAG{sag}/CD{cd}"
+
+
+def chrome_trace(events: Iterable[Event]) -> Dict[str, object]:
+    """Convert an event stream to a Chrome-trace JSON object.
+
+    Perfetto sorts threads by ``tid``; lanes are numbered in (SAG, CD)
+    order so the viewer shows the same lane ordering as the ASCII
+    timeline.  Instant events (queue stalls, drain transitions) land on
+    a dedicated ``controller`` lane (tid 0) of their channel's process.
+    """
+    events = list(events)
+    trace: List[Dict[str, object]] = []
+    pids: Dict[tuple, int] = {}
+    tids: Dict[tuple, int] = {}
+
+    def pid_for(channel: int, bank: int) -> int:
+        key = (channel, bank)
+        if key not in pids:
+            pids[key] = len(pids) + 1
+            trace.append({
+                "ph": "M", "name": "process_name", "pid": pids[key],
+                "args": {"name": f"ch{max(channel, 0)}/bank{max(bank, 0)}"},
+            })
+        return pids[key]
+
+    def tid_for(pid: int, sag: int, cd: int) -> int:
+        key = (pid, sag, cd)
+        if key not in tids:
+            # tid 0 is the controller lane; tiles start at 1, ordered
+            # by (sag, cd) via the sorted event pass below.
+            tid = 0 if sag < 0 else len(
+                [k for k in tids if k[0] == pid and k[1] >= 0]
+            ) + 1
+            tids[key] = tid
+            trace.append({
+                "ph": "M", "name": "thread_name", "pid": pid, "tid": tid,
+                "args": {
+                    "name": "controller" if sag < 0 else _lane_name(sag, cd)
+                },
+            })
+        return tids[key]
+
+    # Deterministic lane numbering: register tiles in sorted order first.
+    for event in sorted(
+        (e for e in events if e.kind == EV_ISSUE and e.sag >= 0),
+        key=lambda e: (e.channel, e.bank, e.sag, e.cd),
+    ):
+        tid_for(pid_for(event.channel, event.bank), event.sag, event.cd)
+
+    for event in events:
+        if event.kind == EV_ISSUE and event.sag >= 0:
+            pid = pid_for(event.channel, event.bank)
+            trace.append({
+                "ph": "X",
+                "name": event.service or event.kind,
+                "cat": event.op or "cmd",
+                "pid": pid,
+                "tid": tid_for(pid, event.sag, event.cd),
+                "ts": event.cycle,
+                "dur": max(1, event.duration),
+                "args": {"req_id": event.req_id, "service": event.service},
+            })
+        elif event.kind in (EV_QUEUE_STALL, EV_DRAIN):
+            pid = pid_for(event.channel, 0)
+            trace.append({
+                "ph": "i",
+                "s": "p",
+                "name": (
+                    f"{event.kind}:{event.op}" if event.op else event.kind
+                ),
+                "pid": pid,
+                "tid": tid_for(pid, -1, -1),
+                "ts": event.cycle,
+                "args": {"value": event.value},
+            })
+    return {
+        "traceEvents": trace,
+        "displayTimeUnit": "ns",
+        "metadata": {"unit": "memory cycles", "schema": JSONL_SCHEMA},
+    }
+
+
+def write_chrome_trace(events: Iterable[Event],
+                       path: "str | os.PathLike[str]") -> int:
+    """Write a Chrome-trace JSON file; returns the trace-event count."""
+    payload = chrome_trace(events)
+    with Path(path).open("w", encoding="utf-8") as handle:
+        json.dump(payload, handle)
+    return len(payload["traceEvents"])
+
+
+def export_events(events: Iterable[Event],
+                  path: "str | os.PathLike[str]") -> int:
+    """Write ``events`` in the format implied by the path suffix.
+
+    ``.jsonl`` → JSONL event log; anything else → Chrome-trace JSON.
+    """
+    if str(path).endswith(".jsonl"):
+        return write_events_jsonl(events, path)
+    return write_chrome_trace(events, path)

@@ -1,0 +1,169 @@
+"""Post-hoc trace analysis: ``repro inspect <trace>``.
+
+Everything here works from an exported event log alone — no simulator
+state, no configs — so a trace captured on one machine is explainable on
+another.  The summary answers the paper's three questions directly:
+which tiles did the work (per-tile occupancy), how much Multi-Activation
+overlap happened, and how many cycles of reads ran under write pulses.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import Counter
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from ..errors import ReproError
+from .events import EV_ISSUE, Event, tile_events
+from .export import read_events_jsonl
+from .registry import MetricRegistry
+
+
+def load_events(path: "str | os.PathLike[str]") -> List[Event]:
+    """Load an event log: JSONL directly, Chrome trace by reconstruction.
+
+    Chrome traces preserve the tile slices (``ph == "X"``) with their
+    request ids and service kinds, which is all the occupancy analysis
+    needs; the JSONL log is lossless and preferred.
+    """
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as handle:
+        head = handle.read(2048).lstrip()
+    if head.startswith("{") and '"traceEvents"' in head:
+        return _events_from_chrome(path)
+    return read_events_jsonl(path)
+
+
+def _events_from_chrome(path: Path) -> List[Event]:
+    with path.open("r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    lanes: Dict[tuple, str] = {}
+    processes: Dict[int, str] = {}
+    events: List[Event] = []
+    for entry in payload.get("traceEvents", []):
+        if entry.get("ph") == "M":
+            if entry.get("name") == "thread_name":
+                lanes[(entry["pid"], entry["tid"])] = entry["args"]["name"]
+            elif entry.get("name") == "process_name":
+                processes[entry["pid"]] = entry["args"]["name"]
+    for entry in payload.get("traceEvents", []):
+        if entry.get("ph") != "X":
+            continue
+        lane = lanes.get((entry["pid"], entry.get("tid")), "")
+        if not lane.startswith("SAG"):
+            continue
+        sag_part, cd_part = lane.split("/")
+        process = processes.get(entry["pid"], "ch0/bank0")
+        channel = int(process.split("/")[0][2:])
+        bank = int(process.split("/")[1][4:])
+        events.append(Event(
+            kind=EV_ISSUE,
+            cycle=int(entry["ts"]),
+            end=int(entry["ts"]) + int(entry.get("dur", 1)),
+            req_id=entry.get("args", {}).get("req_id", -1),
+            op=entry.get("cat", ""),
+            service=entry.get("args", {}).get("service", entry.get("name", "")),
+            channel=channel,
+            bank=bank,
+            sag=int(sag_part[3:]),
+            cd=int(cd_part[2:]),
+        ))
+    if not events:
+        raise ReproError(f"{path}: no tile events found in Chrome trace")
+    return events
+
+
+def summarize_events(events: List[Event]) -> Dict[str, object]:
+    """The inspection report as data (rendered by :func:`render_inspection`)."""
+    # Imported lazily: repro.sim pulls in the whole simulation stack,
+    # which itself publishes through repro.obs — keep this module a leaf.
+    from ..sim.timeline import overlap_summary
+
+    registry = MetricRegistry(label="trace")
+    for event in events:
+        registry.on_event(event)
+    run = registry.current
+    tiles = tile_events(events)
+    overlaps = overlap_summary(tiles)
+    span = run.span_cycles
+    kinds = Counter(e.kind for e in events)
+    per_tile = {
+        f"ch{key[0]}/bank{key[1]}/SAG{key[2]}/CD{key[3]}": {
+            "operations": tile.operations,
+            "busy_cycles": tile.busy_cycles,
+            "occupancy": round(tile.occupancy(span), 4),
+            "issues": dict(sorted(tile.issues.items())),
+        }
+        for key, tile in sorted(run.tiles.items())
+    }
+    return {
+        "events": len(events),
+        "event_kinds": dict(sorted(kinds.items())),
+        "span_cycles": span,
+        "first_cycle": max(0, run.first_cycle),
+        "last_cycle": run.last_cycle,
+        "tiles": per_tile,
+        "busy_cycles": overlaps["busy"],
+        "multi_activation_cycles": overlaps["multi_activation"],
+        "read_under_write_cycles": overlaps["read_under_write"],
+        "read_queue_full_events": run.read_queue_full_events,
+        "write_queue_full_events": run.write_queue_full_events,
+        "drains_started": run.drains_started,
+        "totals": run.as_dict(),
+    }
+
+
+def render_inspection(summary: Dict[str, object],
+                      events: Optional[List[Event]] = None,
+                      timeline_width: int = 0) -> str:
+    """Human-readable inspection report (plus an optional timeline)."""
+    lines = [
+        f"events: {summary['events']} "
+        f"({', '.join(f'{k}={v}' for k, v in summary['event_kinds'].items())})",
+        f"span: cycles {summary['first_cycle']}..{summary['last_cycle']} "
+        f"({summary['span_cycles']} cycles)",
+        "",
+        "per-tile occupancy:",
+    ]
+    tiles: Dict[str, Dict[str, object]] = summary["tiles"]
+    if not tiles:
+        lines.append("  (no tile events)")
+    width = max((len(label) for label in tiles), default=0)
+    for label, tile in tiles.items():
+        mix = " ".join(
+            f"{kind}={count}" for kind, count in tile["issues"].items()
+        )
+        lines.append(
+            f"  {label.ljust(width)}  {tile['occupancy']:>7.1%} busy "
+            f"({tile['busy_cycles']} cy, {tile['operations']} ops: {mix})"
+        )
+    lines += [
+        "",
+        "parallelism (cycle-weighted):",
+        f"  any tile busy:        {summary['busy_cycles']} cy",
+        f"  multi-activation:     {summary['multi_activation_cycles']} cy",
+        f"  reads under writes:   {summary['read_under_write_cycles']} cy",
+        "",
+        "controller:",
+        f"  read-queue-full events:  {summary['read_queue_full_events']}",
+        f"  write-queue-full events: {summary['write_queue_full_events']}",
+        f"  write drains started:    {summary['drains_started']}",
+    ]
+    if timeline_width and events:
+        from ..sim.timeline import render_timeline
+
+        tiles_log = tile_events(events)
+        if tiles_log:
+            lines += ["", render_timeline(tiles_log, width=timeline_width)]
+    return "\n".join(lines)
+
+
+def inspect_trace(path: "str | os.PathLike[str]",
+                  timeline_width: int = 0) -> str:
+    """Load, summarize and render a trace file in one call."""
+    events = load_events(path)
+    return render_inspection(
+        summarize_events(events), events, timeline_width
+    )

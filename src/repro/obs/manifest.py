@@ -1,0 +1,91 @@
+"""Run manifests: what ran, where, from which code, and how long.
+
+A manifest is the provenance record written alongside cached results:
+enough to answer "which code version and host produced these numbers,
+which jobs were simulated versus served from cache, and what did each
+cost?" without re-running anything.  The parallel engine builds one per
+batch (:meth:`repro.sim.parallel.ParallelExperimentEngine.manifest`);
+this module owns the schema and the JSON serialization so other
+producers (benchmarks, CI) write the identical shape.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+#: Manifest schema identifier.
+MANIFEST_SCHEMA = "repro-run-manifest-v1"
+
+
+@dataclass
+class JobRecord:
+    """Telemetry for one job the engine was asked for."""
+
+    key: str                #: content-addressed cache key
+    config: str             #: config name
+    config_digest: str      #: sha-256 of the canonical config
+    benchmark: str
+    requests: int
+    seed: Optional[int]
+    source: str             #: "memory" | "disk" | "simulated"
+    wall_s: float           #: time to produce (≈0 for cache hits)
+
+
+@dataclass
+class RunManifest:
+    """One engine run's provenance and telemetry."""
+
+    code_version: str
+    schema: str = MANIFEST_SCHEMA
+    host: str = field(default_factory=platform.node)
+    platform: str = field(default_factory=platform.platform)
+    python: str = field(default_factory=lambda: sys.version.split()[0])
+    created_utc: str = field(
+        default_factory=lambda: time.strftime(
+            "%Y-%m-%dT%H:%M:%SZ", time.gmtime()
+        )
+    )
+    workers: int = 1
+    cache_dir: Optional[str] = None
+    wall_s: float = 0.0
+    busy_s: float = 0.0
+    engine: Dict[str, int] = field(default_factory=dict)
+    jobs: List[JobRecord] = field(default_factory=list)
+
+    @property
+    def worker_utilization(self) -> float:
+        """Fraction of the worker-pool's wall capacity spent simulating."""
+        capacity = self.wall_s * max(1, self.workers)
+        return self.busy_s / capacity if capacity > 0 else 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        data = asdict(self)
+        data["worker_utilization"] = round(self.worker_utilization, 4)
+        return data
+
+    def write(self, path: "str | os.PathLike[str]") -> Path:
+        """Write the manifest as pretty-printed JSON; returns the path."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("w", encoding="utf-8") as handle:
+            json.dump(self.as_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        return path
+
+
+def read_manifest(path: "str | os.PathLike[str]") -> Dict[str, object]:
+    """Load a manifest JSON file (schema-checked)."""
+    with Path(path).open("r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    if data.get("schema") != MANIFEST_SCHEMA:
+        raise ValueError(
+            f"{path}: unsupported manifest schema {data.get('schema')!r}"
+        )
+    return data

@@ -92,8 +92,11 @@ def sparkline(values: Sequence[float], levels: str = LEVELS) -> str:
     if peak <= 0:
         return levels[0] * len(values)
     steps = len(levels) - 1
+    # Clamp below as well: a negative value must render the floor glyph,
+    # not wrap around to a high level via negative indexing.
     return "".join(
-        levels[min(steps, round(steps * value / peak))] for value in values
+        levels[max(0, min(steps, round(steps * value / peak)))]
+        for value in values
     )
 
 

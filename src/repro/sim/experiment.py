@@ -18,6 +18,7 @@ import math
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..config.params import SystemConfig
+from ..obs.events import Probe
 from ..workloads.record import TraceRecord
 from ..workloads.spec_profiles import get_profile
 from ..workloads.tracegen import generate_trace
@@ -29,10 +30,10 @@ from .simulator import SimResult, simulate
 DEFAULT_REQUESTS = 20_000
 
 
-def run_trace(config: SystemConfig, trace: Iterable[TraceRecord]
-              ) -> SimResult:
+def run_trace(config: SystemConfig, trace: Iterable[TraceRecord],
+              probe: "Probe | None" = None) -> SimResult:
     """Simulate an explicit trace on one configuration."""
-    return simulate(config, trace)
+    return simulate(config, trace, probe=probe)
 
 
 def run_benchmark(
@@ -40,6 +41,7 @@ def run_benchmark(
     benchmark: str,
     requests: int = DEFAULT_REQUESTS,
     seed: Optional[int] = None,
+    probe: "Probe | None" = None,
 ) -> SimResult:
     """Simulate one named benchmark profile on one configuration.
 
@@ -51,7 +53,7 @@ def run_benchmark(
     if seed is not None:
         profile = dataclasses.replace(profile, seed=seed)
     trace = generate_trace(profile, requests)
-    return simulate(config, trace)
+    return simulate(config, trace, probe=probe)
 
 
 def prefetch_jobs(runner, jobs: "Sequence[tuple]") -> None:

@@ -40,6 +40,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
 from ..config.params import SystemConfig
 from ..errors import ExperimentError
+from ..obs.manifest import JobRecord, RunManifest
 from ..workloads.spec_profiles import get_profile
 from ..workloads.tracegen import generate_trace
 from .simulator import SimResult, simulate
@@ -138,6 +139,13 @@ def execute_job(job: ExperimentJob) -> SimResult:
     return simulate(job.config, trace)
 
 
+def _timed_execute_job(job: ExperimentJob) -> "tuple[SimResult, float]":
+    """Worker entry point that also reports the job's wall time."""
+    started = time.monotonic()
+    result = execute_job(job)
+    return result, time.monotonic() - started
+
+
 # -- persistent cache -------------------------------------------------------
 
 
@@ -153,6 +161,8 @@ class DiskResultCache:
 
     def __init__(self, root: "str | os.PathLike[str]"):
         self.root = Path(root)
+        #: Blobs that failed to unpickle and were dropped (telemetry).
+        self.corrupt_blobs = 0
         try:
             self.root.mkdir(parents=True, exist_ok=True)
         except (FileExistsError, NotADirectoryError) as exc:
@@ -175,6 +185,7 @@ class DiskResultCache:
             # Corrupt or stale blob: drop it and re-simulate.  Unpickling
             # arbitrary bytes can raise well beyond UnpicklingError
             # (e.g. ValueError from a garbage LONG opcode).
+            self.corrupt_blobs += 1
             try:
                 path.unlink()
             except OSError:
@@ -222,6 +233,7 @@ class EngineStats:
     memory_hits: int = 0
     disk_hits: int = 0
     executed: int = 0
+    corrupt_blobs: int = 0
 
     @property
     def cache_hits(self) -> int:
@@ -239,6 +251,7 @@ class EngineStats:
             "disk_hits": self.disk_hits,
             "cache_hits": self.cache_hits,
             "simulations": self.executed,
+            "corrupt_blobs": self.corrupt_blobs,
         }
 
 
@@ -298,6 +311,10 @@ class ParallelExperimentEngine:
         self.disk = DiskResultCache(cache_dir) if cache_dir else None
         self.stats = EngineStats()
         self._memory: Dict[str, SimResult] = {}
+        #: Per-job provenance across every batch this engine has run.
+        self.records: List[JobRecord] = []
+        self._wall_s = 0.0
+        self._busy_s = 0.0
 
     # -- ExperimentCache-compatible surface ---------------------------------
 
@@ -335,17 +352,22 @@ class ParallelExperimentEngine:
         for job, key in zip(jobs, keys):
             if key in results:
                 self.stats.memory_hits += 1
+                self._record(job, key, "memory", 0.0)
                 continue
             if key in self._memory:
                 self.stats.memory_hits += 1
                 results[key] = self._memory[key]
+                self._record(job, key, "memory", 0.0)
                 continue
             if self.disk is not None:
+                fetch_started = time.monotonic()
                 cached = self.disk.get(key)
                 if cached is not None:
                     self.stats.disk_hits += 1
                     results[key] = cached
                     self._memory[key] = cached
+                    self._record(job, key, "disk",
+                                 time.monotonic() - fetch_started)
                     continue
             if key not in pending_keys:
                 pending.append(job)
@@ -353,13 +375,20 @@ class ParallelExperimentEngine:
 
         done = len(jobs) - len(pending)
         self._report(done, len(jobs), started)
-        for key, result in zip(pending_keys,
-                               self._execute(pending, len(jobs), started)):
+        for job, key, (result, wall_s) in zip(
+            pending, pending_keys,
+            self._execute(pending, len(jobs), started),
+        ):
             results[key] = result
             self._memory[key] = result
             if self.disk is not None:
                 self.disk.put(key, result)
             self.stats.executed += 1
+            self._busy_s += wall_s
+            self._record(job, key, "simulated", wall_s)
+        self._wall_s += time.monotonic() - started
+        if self.disk is not None:
+            self.stats.corrupt_blobs = self.disk.corrupt_blobs
         return [results[key] for key in keys]
 
     def map(self, fn: Callable, items: Iterable) -> List:
@@ -381,7 +410,7 @@ class ParallelExperimentEngine:
     # -- internals ----------------------------------------------------------
 
     def _execute(self, pending: List[ExperimentJob], total: int,
-                 started: float) -> Iterable[SimResult]:
+                 started: float) -> "Iterable[tuple[SimResult, float]]":
         done = total - len(pending)
         runner = None
         if self.workers > 1 and len(pending) > 1:
@@ -389,14 +418,55 @@ class ParallelExperimentEngine:
             if pool is not None:
                 def pooled():
                     with pool:
-                        yield from pool.map(execute_job, pending)
+                        yield from pool.map(_timed_execute_job, pending)
                 runner = pooled()
         if runner is None:
-            runner = (execute_job(job) for job in pending)
-        for result in runner:
+            runner = (_timed_execute_job(job) for job in pending)
+        for timed in runner:
             done += 1
             self._report(done, total, started)
-            yield result
+            yield timed
+
+    def _record(self, job: ExperimentJob, key: str, source: str,
+                wall_s: float) -> None:
+        self.records.append(JobRecord(
+            key=key,
+            config=job.config.name,
+            config_digest=config_digest(job.config),
+            benchmark=job.benchmark,
+            requests=job.requests,
+            seed=job.seed,
+            source=source,
+            wall_s=round(wall_s, 6),
+        ))
+
+    # -- telemetry -----------------------------------------------------------
+
+    def manifest(self) -> RunManifest:
+        """Provenance + telemetry for everything this engine has run."""
+        return RunManifest(
+            code_version=self.code_version,
+            workers=self.workers,
+            cache_dir=str(self.disk.root) if self.disk is not None else None,
+            wall_s=round(self._wall_s, 6),
+            busy_s=round(self._busy_s, 6),
+            engine=self.stats.as_dict(),
+            jobs=list(self.records),
+        )
+
+    def write_manifest(
+        self, path: "str | os.PathLike[str] | None" = None
+    ) -> Optional[Path]:
+        """Write the manifest next to the disk cache (or to ``path``).
+
+        Returns the path written, or None when there is neither an
+        explicit path nor a disk cache to sit alongside.
+        """
+        if path is None:
+            if self.disk is None:
+                return None
+            path = self.disk.root / "run-manifest.json"
+        return self.manifest().write(path)
 
     def _make_pool(self, n_tasks: int) -> Optional[ProcessPoolExecutor]:
         """A pool sized to the work, or None when the platform refuses."""

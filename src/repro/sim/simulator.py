@@ -28,6 +28,7 @@ from ..core.energy import (
 from ..cpu.trace_cpu import TraceCpu
 from ..errors import SimulationError
 from ..memsys.stats import StatsCollector
+from ..obs.events import EV_RUN_END, NULL_PROBE, Event, Probe
 from ..workloads.record import TraceRecord
 from .epochs import EpochRecorder, EpochSample
 from .system import MemorySystem
@@ -63,17 +64,20 @@ class SimResult:
 class Simulator:
     """One CPU + one memory system, run to completion."""
 
-    def __init__(self, config: SystemConfig, trace: Iterable[TraceRecord]):
+    def __init__(self, config: SystemConfig, trace: Iterable[TraceRecord],
+                 probe: "Probe | None" = None):
         validate_config(config)
         self.config = config
         self.stats = StatsCollector()
-        self.controller = MemorySystem(config, self.stats)
+        self.probe = probe if probe is not None else NULL_PROBE
+        self.controller = MemorySystem(config, self.stats, probe=self.probe)
         self.cpu = TraceCpu(
             config.cpu,
             trace,
             self.controller,
             self.stats,
             config.timing.tck_ns,
+            probe=self.probe,
         )
         self.now = 0
         self._flush_started = False
@@ -132,6 +136,9 @@ class Simulator:
                 )
 
         self.stats.cycles = max(self.now - self._warmup_cycle, 1)
+        if self.probe.enabled:
+            self.probe.emit(Event(EV_RUN_END, self.stats.cycles,
+                                  value=self.stats.instructions))
         cpu_ratio = self.config.cpu.cpu_cycles_per_mem_cycle(
             self.config.timing.tck_ns
         )
@@ -169,6 +176,7 @@ class Simulator:
         )
 
 
-def simulate(config: SystemConfig, trace: Iterable[TraceRecord]) -> SimResult:
+def simulate(config: SystemConfig, trace: Iterable[TraceRecord],
+             probe: "Probe | None" = None) -> SimResult:
     """Build and run a simulator in one call (the common entry point)."""
-    return Simulator(config, trace).run()
+    return Simulator(config, trace, probe=probe).run()

@@ -17,26 +17,39 @@ from ..memsys.address import AddressMapper
 from ..memsys.controller import MemoryController
 from ..memsys.request import MemRequest, OpType
 from ..memsys.stats import StatsCollector
+from ..obs.events import NULL_PROBE, Probe
 
 
 class MemorySystem:
     """CPU-facing facade over the per-channel controllers."""
 
-    def __init__(self, config: SystemConfig, stats: StatsCollector):
+    def __init__(self, config: SystemConfig, stats: StatsCollector,
+                 probe: Probe = NULL_PROBE):
         self.config = config
         self.stats = stats
+        self.probe = probe
         self.mapper = AddressMapper(config.org)
         self.controllers: List[MemoryController] = [
-            MemoryController(config, stats, mapper=self.mapper)
-            for _ in range(config.org.channels)
+            MemoryController(config, stats, mapper=self.mapper,
+                             channel=index, probe=probe)
+            for index in range(config.org.channels)
         ]
 
     # -- admission ----------------------------------------------------------
 
-    def can_accept(self, op: OpType, address: int) -> bool:
-        """Queue-space check on the channel ``address`` routes to."""
+    def can_accept(self, op: OpType, address: int, now: int = 0) -> bool:
+        """Admission attempt on the channel ``address`` routes to.
+
+        A refusal counts as a queue-full event; capacity polls should
+        use :meth:`has_space` instead.
+        """
         channel = self.mapper.decode(address).channel
-        return self.controllers[channel].can_accept(op)
+        return self.controllers[channel].can_accept(op, address, now)
+
+    def has_space(self, op: OpType, address: int = 0) -> bool:
+        """Side-effect-free queue-space check (event skipping, polls)."""
+        channel = self.mapper.decode(address).channel
+        return self.controllers[channel].has_space(op, address)
 
     def enqueue(self, req: MemRequest, now: int) -> None:
         if req.decoded is None:

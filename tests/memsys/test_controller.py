@@ -168,3 +168,58 @@ class TestFlushAndProgress:
         assert ctrl.pending == 2
         ctrl.tick(0)
         assert ctrl.pending == 2  # one in flight, one queued
+
+
+class TestQueueFullAccounting:
+    def _fill_reads(self, ctrl):
+        i = 0
+        while ctrl.has_space(OpType.READ):
+            ctrl.enqueue(MemRequest(OpType.READ, i * 0x100000), 0)
+            i += 1
+
+    def test_read_refusal_counts_event(self, ctrl):
+        self._fill_reads(ctrl)
+        before = ctrl.stats.read_queue_full_events
+        assert not ctrl.can_accept(OpType.READ)
+        assert not ctrl.can_accept(OpType.READ)
+        assert ctrl.stats.read_queue_full_events == before + 2
+
+    def test_write_refusal_counts_event(self, ctrl):
+        i = 0
+        while ctrl.has_space(OpType.WRITE):
+            ctrl.enqueue(MemRequest(OpType.WRITE, i * 0x100000), 0)
+            i += 1
+        assert not ctrl.can_accept(OpType.WRITE)
+        assert ctrl.stats.write_queue_full_events == 1
+
+    def test_successful_admission_not_counted(self, ctrl):
+        assert ctrl.can_accept(OpType.READ)
+        assert ctrl.can_accept(OpType.WRITE)
+        assert ctrl.stats.read_queue_full_events == 0
+        assert ctrl.stats.write_queue_full_events == 0
+
+    def test_has_space_is_pure(self, ctrl):
+        self._fill_reads(ctrl)
+        for _ in range(5):
+            assert not ctrl.has_space(OpType.READ)
+        assert ctrl.stats.read_queue_full_events == 0
+
+    def test_refusal_emits_queue_stall_event(self):
+        from repro.memsys.stats import StatsCollector
+        from repro.obs import ListSink, make_probe
+        from repro.obs.events import EV_QUEUE_STALL
+
+        cfg = baseline_nvm()
+        cfg.org.rows_per_bank = 256
+        sink = ListSink()
+        ctrl = MemoryController(
+            cfg, StatsCollector(), probe=make_probe(sink)
+        )
+        self._fill_reads(ctrl)
+        sink.events.clear()
+        assert not ctrl.can_accept(OpType.READ, now=42)
+        stalls = [e for e in sink.events if e.kind == EV_QUEUE_STALL]
+        assert len(stalls) == 1
+        assert stalls[0].cycle == 42
+        assert stalls[0].op == "R"
+        assert stalls[0].value == len(ctrl.read_queue)

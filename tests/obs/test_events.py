@@ -1,0 +1,101 @@
+"""Event bus primitives: probes, sinks, and the no-op contract."""
+
+import pytest
+
+from repro.obs.events import (
+    EV_ISSUE,
+    EV_QUEUE_STALL,
+    EVENT_DEFAULTS,
+    EVENT_KINDS,
+    NULL_PROBE,
+    Event,
+    ListSink,
+    Probe,
+    TeeSink,
+    TimelineSink,
+    make_probe,
+    tile_events,
+)
+
+
+class TestEvent:
+    def test_only_kind_and_cycle_required(self):
+        event = Event(EV_ISSUE, 10)
+        assert event.kind == EV_ISSUE
+        assert event.cycle == 10
+        assert event.sag == -1 and event.cd == -1
+
+    def test_duration_for_spanning_event(self):
+        assert Event(EV_ISSUE, 10, end=25).duration == 15
+
+    def test_duration_zero_for_instant_event(self):
+        assert Event(EV_QUEUE_STALL, 10).duration == 0
+
+    def test_tile_coordinates(self):
+        assert Event(EV_ISSUE, 0, sag=3, cd=1).tile == (3, 1)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            Event(EV_ISSUE, 0).cycle = 5
+
+    def test_defaults_exclude_required_fields(self):
+        assert "kind" not in EVENT_DEFAULTS
+        assert "cycle" not in EVENT_DEFAULTS
+
+    def test_kind_constants_are_distinct(self):
+        assert len(set(EVENT_KINDS)) == len(EVENT_KINDS)
+
+
+class TestProbe:
+    def test_null_probe_disabled(self):
+        assert NULL_PROBE.enabled is False
+
+    def test_null_probe_emit_is_noop(self):
+        NULL_PROBE.emit(Event(EV_ISSUE, 0))  # must not raise
+
+    def test_probe_with_sink_enabled(self):
+        sink = ListSink()
+        probe = Probe(sink)
+        assert probe.enabled
+        probe.emit(Event(EV_ISSUE, 3))
+        assert len(sink) == 1
+        assert sink.events[0].cycle == 3
+
+    def test_make_probe_no_sinks_returns_null(self):
+        assert make_probe() is NULL_PROBE
+        assert make_probe(None, None) is NULL_PROBE
+
+    def test_make_probe_single_sink_direct(self):
+        sink = ListSink()
+        assert make_probe(sink).sink is sink
+
+    def test_make_probe_tees_multiple_sinks(self):
+        first, second = ListSink(), ListSink()
+        probe = make_probe(first, second)
+        assert isinstance(probe.sink, TeeSink)
+        probe.emit(Event(EV_ISSUE, 1))
+        assert len(first) == 1 and len(second) == 1
+
+
+class TestTimelineSink:
+    def test_converts_tile_issues_to_tuples(self):
+        sink = TimelineSink()
+        sink.on_event(Event(EV_ISSUE, 5, end=20, sag=1, cd=0,
+                            service="row_miss"))
+        assert sink.events == [(5, 20, 1, 0, "row_miss")]
+
+    def test_ignores_non_tile_events(self):
+        sink = TimelineSink()
+        sink.on_event(Event(EV_QUEUE_STALL, 5))
+        sink.on_event(Event(EV_ISSUE, 5, end=9, service="forwarded"))
+        assert sink.events == []
+
+    def test_tile_events_helper(self):
+        stream = [
+            Event(EV_ISSUE, 0, end=4, sag=0, cd=0, service="row_hit"),
+            Event(EV_QUEUE_STALL, 1),
+            Event(EV_ISSUE, 2, end=8, sag=1, cd=1, service="write"),
+        ]
+        assert tile_events(stream) == [
+            (0, 4, 0, 0, "row_hit"), (2, 8, 1, 1, "write"),
+        ]

@@ -1,0 +1,135 @@
+"""Exporter schemas: JSONL round-trip and Chrome-trace structure."""
+
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.obs.events import (
+    EV_DRAIN,
+    EV_ISSUE,
+    EV_QUEUE_STALL,
+    EV_SENSE,
+    Event,
+)
+from repro.obs.export import (
+    JSONL_SCHEMA,
+    chrome_trace,
+    event_from_json,
+    event_to_json,
+    export_events,
+    read_events_jsonl,
+    write_chrome_trace,
+    write_events_jsonl,
+)
+
+
+SAMPLE = [
+    Event(EV_ISSUE, 3, end=40, req_id=1, op="R", service="row_miss",
+          channel=0, bank=2, sag=1, cd=0),
+    Event(EV_ISSUE, 3, end=40, req_id=1, op="R", service="row_miss",
+          channel=0, bank=2, sag=1, cd=1, value=1),
+    Event(EV_SENSE, 3, end=30, channel=0, bank=2, sag=1, cd=0, bits=4096),
+    Event(EV_QUEUE_STALL, 7, op="W", channel=0, value=24),
+    Event(EV_DRAIN, 9, op="W", channel=0, value=1),
+]
+
+
+class TestJsonl:
+    def test_round_trip_lossless(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        assert write_events_jsonl(SAMPLE, path) == len(SAMPLE)
+        assert read_events_jsonl(path) == SAMPLE
+
+    def test_header_line_carries_schema(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        write_events_jsonl(SAMPLE, path)
+        header = json.loads(path.read_text().splitlines()[0])
+        assert header == {"schema": JSONL_SCHEMA}
+
+    def test_defaults_stripped_from_lines(self):
+        data = event_to_json(Event(EV_QUEUE_STALL, 7, op="W", value=24))
+        assert data == {"kind": EV_QUEUE_STALL, "cycle": 7, "op": "W",
+                        "value": 24}
+
+    def test_unknown_keys_ignored_on_read(self):
+        event = event_from_json(
+            {"kind": EV_ISSUE, "cycle": 1, "future_field": "x"}
+        )
+        assert event == Event(EV_ISSUE, 1)
+
+    def test_rejects_wrong_schema(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"schema": "other-v9"}\n')
+        with pytest.raises(ReproError, match="schema"):
+            read_events_jsonl(path)
+
+    def test_rejects_non_json(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("not json at all\n")
+        with pytest.raises(ReproError):
+            read_events_jsonl(path)
+
+
+class TestChromeTrace:
+    def test_one_lane_per_tile(self):
+        payload = chrome_trace(SAMPLE)
+        lanes = {
+            entry["args"]["name"]
+            for entry in payload["traceEvents"]
+            if entry["ph"] == "M" and entry["name"] == "thread_name"
+        }
+        assert {"SAG1/CD0", "SAG1/CD1", "controller"} <= lanes
+
+    def test_controller_lane_is_tid_zero(self):
+        payload = chrome_trace(SAMPLE)
+        controller = [
+            entry for entry in payload["traceEvents"]
+            if entry["ph"] == "M" and entry["name"] == "thread_name"
+            and entry["args"]["name"] == "controller"
+        ]
+        assert controller and all(e["tid"] == 0 for e in controller)
+
+    def test_slices_for_tile_issues(self):
+        payload = chrome_trace(SAMPLE)
+        slices = [e for e in payload["traceEvents"] if e["ph"] == "X"]
+        assert len(slices) == 2  # the two tile issues; sense is not a slice
+        assert all(s["dur"] == 37 for s in slices)
+        assert {s["tid"] for s in slices} == {1, 2}
+
+    def test_instants_for_stall_and_drain(self):
+        payload = chrome_trace(SAMPLE)
+        instants = [e for e in payload["traceEvents"] if e["ph"] == "i"]
+        assert len(instants) == 2
+        assert all(e["tid"] == 0 for e in instants)
+
+    def test_lane_numbering_deterministic(self):
+        forward = chrome_trace(SAMPLE)
+        backward = chrome_trace(list(reversed(SAMPLE)))
+
+        def lane_map(payload):
+            return {
+                entry["args"]["name"]: (entry["pid"], entry["tid"])
+                for entry in payload["traceEvents"]
+                if entry["ph"] == "M" and entry["name"] == "thread_name"
+            }
+
+        assert lane_map(forward) == lane_map(backward)
+
+    def test_json_serializable(self, tmp_path):
+        path = tmp_path / "trace.json"
+        write_chrome_trace(SAMPLE, path)
+        payload = json.loads(path.read_text())
+        assert payload["traceEvents"]
+
+
+class TestExportDispatch:
+    def test_jsonl_suffix_writes_jsonl(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        export_events(SAMPLE, path)
+        assert read_events_jsonl(path) == SAMPLE
+
+    def test_other_suffix_writes_chrome_trace(self, tmp_path):
+        path = tmp_path / "t.json"
+        export_events(SAMPLE, path)
+        assert "traceEvents" in json.loads(path.read_text())

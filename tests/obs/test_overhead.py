@@ -1,0 +1,63 @@
+"""The observability overhead guard.
+
+Instrumentation must be *pure observation*: attaching a probe — or no
+probe at all — may never change what the simulated machine does.  These
+tests pin the acceptance criterion that a run with no sink attached is
+bit-identical to the seed behaviour, and that even a fully-subscribed
+run produces the identical architectural results.
+"""
+
+import pytest
+
+from repro.config import baseline_nvm, fgnvm
+from repro.obs import ListSink, MetricRegistry, make_probe
+from repro.obs.events import NULL_PROBE
+from repro.sim.simulator import simulate
+from repro.workloads import generate_trace, get_profile
+
+
+def run(config_builder, probe=None, benchmark="mcf", requests=700):
+    cfg = config_builder()
+    cfg.org.rows_per_bank = 256
+    trace = generate_trace(get_profile(benchmark), requests)
+    return simulate(cfg, trace, probe=probe)
+
+
+@pytest.mark.parametrize("builder", [
+    baseline_nvm, lambda: fgnvm(8, 2), lambda: fgnvm(4, 4),
+])
+class TestNoBehaviourChange:
+    def test_no_probe_equals_null_probe(self, builder):
+        plain = run(builder, probe=None)
+        nulled = run(builder, probe=NULL_PROBE)
+        assert plain.summary() == nulled.summary()
+
+    def test_sink_attached_run_is_bit_identical(self, builder):
+        plain = run(builder, probe=None)
+        probed = run(builder, probe=make_probe(ListSink(), MetricRegistry()))
+        assert plain.summary() == probed.summary()
+        assert plain.cycles == probed.cycles
+        assert plain.ipc == probed.ipc
+
+
+class TestNoAllocationWhenDisabled:
+    def test_null_probe_is_shared_singleton(self):
+        from repro.core.fgnvm_bank import FgNvmBank  # noqa: F401
+        from repro.memsys.controller import MemoryController
+        from repro.memsys.stats import StatsCollector
+
+        cfg = baseline_nvm()
+        cfg.org.rows_per_bank = 256
+        ctrl = MemoryController(cfg, StatsCollector())
+        assert ctrl.probe is NULL_PROBE
+        assert all(bank.probe is NULL_PROBE for bank in ctrl.banks)
+
+    def test_disabled_probe_never_calls_sink(self):
+        class Exploding:
+            def on_event(self, event):
+                raise AssertionError("sink called while disabled")
+
+        probe = make_probe(Exploding())
+        probe.enabled = False
+        result = run(lambda: fgnvm(4, 4), probe=probe, requests=200)
+        assert result.cycles > 0

@@ -1,0 +1,106 @@
+"""Metric registry: event aggregation cross-checked against the stats."""
+
+import pytest
+
+from repro.config import fgnvm
+from repro.obs import ListSink, MetricRegistry, make_probe, tile_label
+from repro.obs.events import EV_ISSUE, EV_SENSE, Event
+from repro.sim.simulator import simulate
+from repro.workloads import generate_trace, get_profile
+
+
+@pytest.fixture(scope="module")
+def probed_run():
+    """One instrumented fgnvm run: (SimResult, events, registry)."""
+    cfg = fgnvm(8, 2)
+    cfg.org.rows_per_bank = 256
+    trace = generate_trace(get_profile("mcf"), 800)
+    sink = ListSink()
+    registry = MetricRegistry()
+    registry.begin_run("mcf")
+    result = simulate(cfg, trace, probe=make_probe(sink, registry))
+    return result, sink.events, registry
+
+
+class TestRegistryParity:
+    """Every counter the registry rebuilds must equal the collector's."""
+
+    def test_counters_match_stats_collector(self, probed_run):
+        result, _, registry = probed_run
+        stats = result.stats.as_dict()
+        rebuilt = registry.as_dict()
+        for key, value in rebuilt.items():
+            assert key in stats, f"registry-only key {key}"
+            assert value == stats[key], (
+                f"{key}: registry {value} != stats {stats[key]}"
+            )
+
+    def test_cycles_and_instructions_from_run_end(self, probed_run):
+        result, _, registry = probed_run
+        assert registry.current.cycles == result.cycles
+        assert registry.current.instructions == result.instructions
+
+    def test_tile_operation_totals(self, probed_run):
+        result, _, registry = probed_run
+        run = registry.current
+        # Tile ops count each (SAG, CD) slice once; the per-run request
+        # counters count logical requests (once per base slice).
+        tile_ops = sum(t.operations for t in run.tiles.values())
+        assert tile_ops >= run.reads + run.writes - run.issues["forwarded"]
+
+    def test_rollups_preserve_operation_totals(self, probed_run):
+        _, _, registry = probed_run
+        run = registry.current
+        total = sum(t.operations for t in run.tiles.values())
+        assert sum(t.operations for t in run.per_sag().values()) == total
+        assert sum(t.operations for t in run.per_cd().values()) == total
+
+
+class TestRegistryMechanics:
+    def test_tile_label(self):
+        assert tile_label((0, 3, 7, 1)) == "ch0/bank3/SAG7/CD1"
+
+    def test_multi_cd_access_counts_once(self):
+        registry = MetricRegistry()
+        for offset in range(2):
+            registry.on_event(Event(
+                EV_ISSUE, 0, end=10, service="row_miss", channel=0,
+                bank=0, sag=0, cd=offset, value=offset,
+            ))
+        assert registry.current.reads == 1
+        assert len(registry.current.tiles) == 2
+
+    def test_sense_overlap_classification(self):
+        registry = MetricRegistry()
+        registry.on_event(Event(EV_SENSE, 0, bits=512, overlap_reads=1))
+        registry.on_event(Event(EV_SENSE, 5, bits=512, overlap_writes=1))
+        run = registry.current
+        assert run.senses == 2
+        assert run.sense_bits == 1024
+        assert run.multi_activation_senses == 1
+        assert run.reads_under_write == 1
+
+    def test_begin_run_switches_buckets(self):
+        registry = MetricRegistry()
+        registry.begin_run("first")
+        registry.on_event(Event(EV_SENSE, 0, bits=8))
+        registry.begin_run("second")
+        registry.on_event(Event(EV_SENSE, 0, bits=16))
+        assert registry.runs["first"].sense_bits == 8
+        assert registry.runs["second"].sense_bits == 16
+
+    def test_summary_shape(self, probed_run):
+        _, _, registry = probed_run
+        summary = registry.summary()
+        assert summary["events_seen"] > 0
+        run = summary["runs"]["mcf"]
+        assert set(run) >= {"totals", "tiles", "per_sag", "per_cd"}
+        assert all(label.startswith("ch") for label in run["tiles"])
+        assert all(label.startswith("SAG") for label in run["per_sag"])
+
+    def test_occupancy_bounded(self, probed_run):
+        _, _, registry = probed_run
+        run = registry.current
+        span = run.span_cycles
+        for tile in run.tiles.values():
+            assert 0.0 <= tile.occupancy(span) <= 1.0

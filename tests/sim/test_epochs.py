@@ -117,3 +117,50 @@ class TestWarmup:
             simulate(cfg, multi_stream_kernel(50, streams=2, gap=5))
         )
         assert result.stats.requests == 50
+
+
+class TestSparklineEdges:
+    def test_single_value_renders_one_glyph(self):
+        assert len(sparkline([7])) == 1
+
+    def test_constant_nonzero_series_renders_uniformly(self):
+        line = sparkline([5, 5, 5, 5])
+        assert len(set(line)) == 1
+        assert line[0] != " "  # non-zero activity must be visible
+
+    def test_negative_values_clamped_to_floor(self):
+        line = sparkline([-10, 0, 10])
+        assert len(line) == 3
+        assert line[0] == " "
+
+    def test_extremes_hit_first_and_last_levels(self):
+        line = sparkline([0, 1_000_000])
+        assert line[0] == " " and line[-1] == "@"
+
+    def test_tiny_range_does_not_divide_by_zero(self):
+        assert sparkline([3, 3]) != ""
+
+
+class TestEpochCliPlumbing:
+    """--epoch-cycles reaches SimParams through the CLI layer."""
+
+    def test_run_epoch_table_printed(self, capsys):
+        from repro.cli import main
+
+        assert main([
+            "run", "--config", "fgnvm-8x2", "--benchmark", "sphinx3",
+            "--requests", "400", "--epoch-cycles", "500",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "epoch" in out
+        assert "ipc" in out
+
+    def test_compare_accepts_epoch_cycles(self, capsys):
+        from repro.cli import main
+
+        assert main([
+            "compare", "--configs", "baseline", "fgnvm-8x2",
+            "--benchmark", "sphinx3", "--requests", "300",
+            "--epoch-cycles", "400",
+        ]) == 0
+        assert "speedup" in capsys.readouterr().out

@@ -197,3 +197,83 @@ class TestProgress:
         assert ProgressEvent(0, 4, 1.0, 0).eta_s is None
         assert ProgressEvent(2, 4, 10.0, 0).eta_s == pytest.approx(10.0)
         assert ProgressEvent(4, 4, 10.0, 0).eta_s == 0.0
+
+
+class TestTelemetry:
+    def test_job_records_track_sources(self, tmp_path):
+        engine = ParallelExperimentEngine(
+            workers=1, cache_dir=tmp_path / "cache"
+        )
+        engine.run_jobs([job()])
+        engine.run_jobs([job()])  # memory hit
+        fresh = ParallelExperimentEngine(
+            workers=1, cache_dir=tmp_path / "cache"
+        )
+        fresh.run_jobs([job()])  # disk hit
+        assert [r.source for r in engine.records] == ["simulated", "memory"]
+        assert [r.source for r in fresh.records] == ["disk"]
+        simulated = engine.records[0]
+        assert simulated.wall_s > 0
+        assert simulated.benchmark == "sphinx3"
+        assert simulated.requests == REQUESTS
+        assert simulated.key == job_key(job())
+        assert simulated.config_digest == config_digest(job().config)
+
+    def test_corrupt_blob_counted(self, tmp_path):
+        engine = ParallelExperimentEngine(
+            workers=1, cache_dir=tmp_path / "cache"
+        )
+        engine.run_jobs([job()])
+        blob = next((tmp_path / "cache").glob("*/*.pkl"))
+        blob.write_bytes(b"garbage")
+        fresh = ParallelExperimentEngine(
+            workers=1, cache_dir=tmp_path / "cache"
+        )
+        fresh.run_jobs([job()])
+        assert fresh.disk.corrupt_blobs == 1
+        assert fresh.stats.corrupt_blobs == 1
+        assert fresh.stats.as_dict()["corrupt_blobs"] == 1
+        assert [r.source for r in fresh.records] == ["simulated"]
+
+    def test_manifest_contents(self, tmp_path):
+        engine = ParallelExperimentEngine(
+            workers=2, cache_dir=tmp_path / "cache"
+        )
+        engine.run_jobs([job(benchmark="sphinx3"), job(benchmark="mcf")])
+        manifest = engine.manifest()
+        assert manifest.code_version == CODE_VERSION
+        assert manifest.workers == 2
+        assert manifest.cache_dir == str(tmp_path / "cache")
+        assert manifest.wall_s > 0
+        assert manifest.busy_s > 0
+        assert manifest.engine["submitted"] == 2
+        assert manifest.engine["simulations"] == 2
+        assert len(manifest.jobs) == 2
+        assert 0.0 < manifest.worker_utilization <= 1.0
+
+    def test_write_manifest_defaults_next_to_cache(self, tmp_path):
+        from repro.obs.manifest import read_manifest
+
+        engine = ParallelExperimentEngine(
+            workers=1, cache_dir=tmp_path / "cache"
+        )
+        engine.run_jobs([job()])
+        path = engine.write_manifest()
+        assert path == tmp_path / "cache" / "run-manifest.json"
+        data = read_manifest(path)
+        assert data["engine"]["simulations"] == 1
+        assert data["jobs"][0]["source"] == "simulated"
+
+    def test_write_manifest_without_cache_needs_path(self, tmp_path):
+        engine = ParallelExperimentEngine(workers=1)
+        engine.run_jobs([job()])
+        assert engine.write_manifest() is None
+        path = engine.write_manifest(tmp_path / "manifest.json")
+        assert path is not None and path.exists()
+
+    def test_timed_results_identical_to_untimed(self):
+        from repro.sim.parallel import _timed_execute_job
+
+        result, wall_s = _timed_execute_job(job())
+        assert wall_s > 0
+        assert result.summary() == execute_job(job()).summary()

@@ -94,3 +94,78 @@ class TestOverlapSummary:
         ])
         assert summary["multi_activation"] == 0
         assert summary["busy"] == 10
+
+
+class TestLaneOrdering:
+    def test_lanes_sorted_by_sag_then_cd(self):
+        text = render_timeline([
+            ev(0, 10, 1, 1, "row_miss"),
+            ev(0, 10, 0, 1, "row_miss"),
+            ev(0, 10, 1, 0, "row_miss"),
+            ev(0, 10, 0, 0, "row_miss"),
+        ])
+        labels = [
+            line.split(" ")[0]
+            for line in text.splitlines() if line.startswith("SAG")
+        ]
+        assert labels == [
+            "SAG0/CD0", "SAG0/CD1", "SAG1/CD0", "SAG1/CD1",
+        ]
+
+    def test_lane_order_independent_of_event_order(self):
+        events = [
+            ev(0, 10, 2, 0, "row_miss"),
+            ev(5, 15, 0, 1, "write"),
+            ev(2, 8, 1, 1, "row_hit"),
+        ]
+        assert render_timeline(events) == render_timeline(events[::-1])
+
+    def test_labels_aligned_to_widest(self):
+        text = render_timeline([
+            ev(0, 10, 0, 0, "row_miss"),
+            ev(0, 10, 31, 15, "row_miss"),
+        ])
+        bars = [l.index("|") for l in text.splitlines()
+                if l.startswith("SAG")]
+        assert len(set(bars)) == 1  # every lane's bar starts in-column
+
+
+class TestOverlapGlyphs:
+    def test_concurrent_operations_render_distinct_glyphs(self):
+        text = render_timeline([
+            ev(0, 20, 0, 0, "write_miss"),
+            ev(5, 15, 1, 1, "row_miss"),
+        ], width=20)
+        write_lane = [l for l in text.splitlines() if "SAG0/CD0" in l][0]
+        read_lane = [l for l in text.splitlines() if "SAG1/CD1" in l][0]
+        assert "W" in write_lane and "M" not in write_lane
+        assert "M" in read_lane and "W" not in read_lane
+
+    def test_later_event_wins_within_a_cell(self):
+        text = render_timeline([
+            ev(0, 10, 0, 0, "row_miss"),
+            ev(5, 10, 0, 0, "write"),
+        ], width=1)
+        lane = [l for l in text.splitlines() if "SAG0" in l][0]
+        assert lane.split("|")[1] == "W"
+
+    def test_unknown_kind_renders_question_mark(self):
+        text = render_timeline([ev(0, 10, 0, 0, "mystery")], width=10)
+        lane = [l for l in text.splitlines() if "SAG0" in l][0]
+        assert "?" in lane
+
+
+class TestEventBusIntegration:
+    def test_timeline_sink_feeds_renderer(self):
+        from repro.obs.events import EV_ISSUE, Event, TimelineSink, make_probe
+
+        sink = TimelineSink()
+        probe = make_probe(sink)
+        probe.emit(Event(EV_ISSUE, 0, end=60, sag=1, cd=1,
+                         service="write_miss", op="W"))
+        probe.emit(Event(EV_ISSUE, 10, end=20, sag=0, cd=0,
+                         service="row_hit", op="R"))
+        summary = overlap_summary(sink.events)
+        assert summary["read_under_write"] == 10
+        text = render_timeline(sink.events, width=30)
+        assert "SAG0/CD0" in text and "SAG1/CD1" in text

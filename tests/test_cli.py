@@ -144,3 +144,89 @@ class TestReproduce:
         } <= produced
         out = capsys.readouterr().out
         assert "ok" in out
+
+
+class TestInstrumentation:
+    def test_emit_trace_jsonl(self, tmp_path, capsys):
+        path = tmp_path / "events.jsonl"
+        assert main([
+            "run", "--config", "fgnvm-8x2", "--benchmark", "sphinx3",
+            "--requests", "300", "--emit-trace", str(path),
+        ]) == 0
+        from repro.obs import read_events_jsonl
+
+        events = read_events_jsonl(path)
+        assert events
+        assert any(e.kind == "issue" for e in events)
+        assert any(e.kind == "run_end" for e in events)
+
+    def test_emit_trace_chrome_json(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "trace.json"
+        assert main([
+            "run", "--config", "fgnvm-8x2", "--benchmark", "sphinx3",
+            "--requests", "300", "--emit-trace", str(path),
+        ]) == 0
+        payload = json.loads(path.read_text())
+        assert payload["traceEvents"]
+        lanes = {
+            e["args"]["name"] for e in payload["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert any(name.startswith("SAG") for name in lanes)
+
+    def test_emit_metrics(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "metrics.json"
+        assert main([
+            "run", "--config", "fgnvm-8x2", "--benchmark", "sphinx3",
+            "--requests", "300", "--emit-metrics", str(path),
+        ]) == 0
+        metrics = json.loads(path.read_text())
+        run = metrics["runs"]["sphinx3"]
+        assert run["totals"]["reads"] > 0
+        assert run["tiles"]
+
+    def test_instrumented_summary_matches_plain_run(self, tmp_path, capsys):
+        args = [
+            "run", "--config", "fgnvm-8x2", "--benchmark", "sphinx3",
+            "--requests", "300",
+        ]
+        assert main(args) == 0
+        plain = capsys.readouterr().out
+        assert main(
+            args + ["--emit-trace", str(tmp_path / "t.jsonl")]
+        ) == 0
+        probed = capsys.readouterr().out
+        assert plain == probed
+
+    def test_inspect_subcommand(self, tmp_path, capsys):
+        trace = tmp_path / "events.jsonl"
+        assert main([
+            "run", "--config", "fgnvm-8x2", "--benchmark", "sphinx3",
+            "--requests", "300", "--emit-trace", str(trace),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["inspect", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "per-tile occupancy" in out
+        assert "multi-activation" in out
+
+    def test_inspect_with_timeline(self, tmp_path, capsys):
+        trace = tmp_path / "events.jsonl"
+        main([
+            "run", "--config", "fgnvm-8x2", "--benchmark", "sphinx3",
+            "--requests", "300", "--emit-trace", str(trace),
+        ])
+        capsys.readouterr()
+        assert main(["inspect", str(trace), "--timeline", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "cy/column" in out
+
+    def test_inspect_rejects_garbage(self, tmp_path):
+        path = tmp_path / "junk.jsonl"
+        path.write_text("definitely not json\n")
+        with pytest.raises(SystemExit):
+            main(["inspect", str(path)])

@@ -9,7 +9,7 @@ import repro
 
 SUBPACKAGES = (
     "repro.config", "repro.memsys", "repro.core", "repro.cpu",
-    "repro.workloads", "repro.sim", "repro.analysis",
+    "repro.workloads", "repro.sim", "repro.analysis", "repro.obs",
 )
 
 
