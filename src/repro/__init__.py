@@ -26,19 +26,36 @@ Package map:
 * :mod:`repro.sim` — simulation loop, experiment runner, reporting,
 * :mod:`repro.obs` — structured instrumentation: event bus, metric
   registry, trace exporters, run manifests,
+* :mod:`repro.resilience` — fault-tolerant engine: supervision,
+  checkpoint/resume, deterministic chaos injection,
 * :mod:`repro.analysis` — regenerators for every paper table and figure.
 """
 
-from . import analysis, config, core, cpu, memsys, obs, sim, units, workloads
+from . import (
+    analysis,
+    config,
+    core,
+    cpu,
+    memsys,
+    obs,
+    resilience,
+    sim,
+    units,
+    workloads,
+)
 from .errors import (
     AddressError,
     ConfigError,
+    FatalJobError,
+    JobTimeoutError,
     ProtocolError,
     QueueFullError,
     ReproError,
     SchedulerError,
     SimulationError,
     TraceFormatError,
+    TransientJobError,
+    WorkerCrashError,
 )
 
 __version__ = "1.0.0"
@@ -50,16 +67,21 @@ __all__ = [
     "cpu",
     "memsys",
     "obs",
+    "resilience",
     "sim",
     "units",
     "workloads",
     "AddressError",
     "ConfigError",
+    "FatalJobError",
+    "JobTimeoutError",
     "ProtocolError",
     "QueueFullError",
     "ReproError",
     "SchedulerError",
     "SimulationError",
     "TraceFormatError",
+    "TransientJobError",
+    "WorkerCrashError",
     "__version__",
 ]

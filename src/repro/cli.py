@@ -6,6 +6,8 @@ Commands:
   summary table,
 * ``figure4`` / ``figure5`` / ``table1`` / ``table2`` / ``headline`` —
   regenerate the paper artifacts,
+* ``chaos`` — run a sweep under a seeded fault plan and prove the
+  results bit-identical to a fault-free serial run,
 * ``trace-gen`` — write a benchmark profile's trace to disk (native or
   NVMain format),
 * ``list`` — show the available configurations and benchmark profiles.
@@ -23,7 +25,7 @@ import sys
 from typing import Callable, Dict, List, Optional
 
 from . import analysis
-from .errors import ReproError
+from .errors import ExperimentError, ReproError
 from .obs import (
     ListSink,
     MetricRegistry,
@@ -39,9 +41,16 @@ from .config import (
     fgnvm_per_sag_buffers,
     many_banks,
 )
+from .resilience import (
+    FaultPlan,
+    ResilientEngine,
+    RetryPolicy,
+    resilient_engine,
+)
 from .sim import (
+    ExperimentJob,
+    ParallelExperimentEngine,
     compare_architectures,
-    default_engine,
     dict_table,
     epoch_table,
     parameter_sweep,
@@ -96,15 +105,54 @@ def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
         "--progress", action="store_true",
         help="print per-job progress with an ETA to stderr",
     )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="resume an interrupted run from the sweep journal next to "
+             "the cache dir; checkpointed jobs are verified and served "
+             "without re-simulation",
+    )
+    parser.add_argument(
+        "--job-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-job wall-clock budget; an overdue pooled job is "
+             "presumed hung, its worker killed and the job retried",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=3, metavar="N",
+        help="attempts per job for transient failures (crashed worker, "
+             "timeout) before giving up (default 3)",
+    )
 
 
 def _make_engine(args):
-    """The experiment engine every simulating command routes through."""
+    """The experiment engine every simulating command routes through.
+
+    Always the fault-tolerant engine: with no faults to ride out it
+    behaves exactly like the plain pool, and a crashed worker or a
+    corrupt cache blob no longer costs the whole run.
+    """
+    if args.workers < 0:
+        raise ExperimentError(
+            f"--workers must be >= 0 (0 = one process per CPU core, "
+            f"1 = serial); got {args.workers}"
+        )
+    retries = getattr(args, "retries", 3)
+    if retries < 1:
+        raise ExperimentError(
+            f"--retries must be >= 1, got {retries}"
+        )
+    job_timeout = getattr(args, "job_timeout", None)
+    if job_timeout is not None and job_timeout <= 0:
+        raise ExperimentError(
+            f"--job-timeout must be positive seconds, got {job_timeout}"
+        )
     workers = None if args.workers == 0 else args.workers
-    return default_engine(
+    return resilient_engine(
         workers=workers,
         cache_dir=args.cache_dir,
         progress=progress_printer() if args.progress else None,
+        retry=RetryPolicy(max_attempts=retries),
+        job_timeout_s=job_timeout,
+        resume=getattr(args, "resume", False),
     )
 
 
@@ -117,6 +165,20 @@ def _report_engine(args, engine) -> None:
             f"({stats.disk_hits} from disk), workers={engine.workers}",
             file=sys.stderr,
         )
+        rstats = getattr(engine, "rstats", None)
+        if rstats is not None:
+            dirty = {k: v for k, v in rstats.as_dict().items()
+                     if v and k != "journal_entries"}
+            if dirty:
+                print(
+                    "resilience: " + ", ".join(
+                        f"{k}={v}" for k, v in sorted(dirty.items())
+                    ),
+                    file=sys.stderr,
+                )
+    manifest_path = engine.write_manifest()
+    if manifest_path is not None and (args.progress or args.cache_dir):
+        print(f"run manifest: {manifest_path}", file=sys.stderr)
 
 
 def _cmd_list(args) -> int:
@@ -318,6 +380,85 @@ def _cmd_reproduce(args) -> int:
     return 0 if manifest.clean else 1
 
 
+def _cmd_chaos(args) -> int:
+    """Prove fault tolerance: chaos run bit-identical to a clean one."""
+    import tempfile
+
+    if args.jobs < 1:
+        raise ExperimentError(f"--jobs must be >= 1, got {args.jobs}")
+    config = build_config(args.config)
+    jobs = [
+        ExperimentJob(config, args.benchmark, args.requests, seed=seed)
+        for seed in range(args.jobs)
+    ]
+    plan = FaultPlan.seeded(
+        seed=args.seed,
+        n_jobs=args.jobs,
+        crashes=args.crashes,
+        hangs=args.hangs,
+        transients=args.transients,
+        corrupt=args.corrupt,
+        torn=args.torn,
+        disk_full=args.disk_full,
+        hang_seconds=args.hang_seconds,
+    )
+    print(plan.describe())
+
+    cache_dir = args.cache_dir or tempfile.mkdtemp(prefix="repro-chaos-")
+
+    # Ground truth: serial, no cache, no faults.
+    clean = ParallelExperimentEngine(workers=1)
+    expected = [r.summary() for r in clean.run_jobs(jobs)]
+
+    if args.workers < 0:
+        raise ExperimentError(
+            f"--workers must be >= 0 (0 = one process per CPU core, "
+            f"1 = serial); got {args.workers}"
+        )
+    chaotic = ResilientEngine(
+        workers=None if args.workers == 0 else args.workers,
+        cache_dir=cache_dir,
+        fault_plan=plan,
+        job_timeout_s=args.job_timeout,
+        retry=RetryPolicy(max_attempts=args.retries),
+    )
+    chaotic.begin_batch(f"chaos:seed={args.seed}")
+    survived = [r.summary() for r in chaotic.run_jobs(jobs)]
+    chaotic.write_manifest()
+    rstats = chaotic.rstats
+    print(
+        f"chaos run: {chaotic.stats.executed} simulated, "
+        f"{rstats.retries} retry(ies), "
+        f"{rstats.worker_crashes} worker crash(es), "
+        f"{rstats.timeouts} timeout(s), "
+        f"{rstats.pool_rebuilds} pool rebuild(s), "
+        f"{chaotic.disk.corrupt_blobs if chaotic.disk else 0} "
+        f"blob(s) quarantined"
+    )
+
+    # A fresh engine resuming from the chaos run's journal + cache must
+    # reproduce everything without re-simulating the intact jobs.
+    readback = ResilientEngine(workers=1, cache_dir=cache_dir, resume=True)
+    replayed = [r.summary() for r in readback.run_jobs(jobs)]
+    print(
+        f"resume: {readback.resumable_jobs} job(s) checkpointed, "
+        f"{readback.stats.executed} re-simulated "
+        f"(corrupt checkpoints only)"
+    )
+
+    problems = []
+    if survived != expected:
+        problems.append("chaos-run results differ from the clean run")
+    if replayed != expected:
+        problems.append("resumed results differ from the clean run")
+    for problem in problems:
+        print(f"MISMATCH: {problem}", file=sys.stderr)
+    if not problems:
+        print(f"all {args.jobs} job(s) bit-identical across clean, "
+              f"chaos and resumed runs")
+    return 1 if problems else 0
+
+
 def _cmd_inspect(args) -> int:
     print(inspect_trace(args.trace, timeline_width=args.timeline))
     return 0
@@ -410,6 +551,44 @@ def make_parser() -> argparse.ArgumentParser:
     rep_p.add_argument("--benchmarks", nargs="*", default=[])
     _add_engine_flags(rep_p)
 
+    chaos_p = sub.add_parser(
+        "chaos",
+        help="run a sweep under injected faults; verify bit-identical "
+             "results",
+    )
+    chaos_p.add_argument("--config", default="fgnvm-8x2",
+                         choices=sorted(CONFIG_BUILDERS))
+    chaos_p.add_argument("--benchmark", default="mcf")
+    chaos_p.add_argument("--requests", type=int, default=600)
+    chaos_p.add_argument("--jobs", type=int, default=6,
+                         help="seed-varied jobs in the batch (default 6)")
+    chaos_p.add_argument("--workers", type=int, default=2)
+    chaos_p.add_argument("--seed", type=int, default=0,
+                         help="fault plan seed (default 0)")
+    chaos_p.add_argument("--crashes", type=int, default=1,
+                         help="workers killed mid-job (default 1)")
+    chaos_p.add_argument("--hangs", type=int, default=0,
+                         help="jobs that hang past --job-timeout")
+    chaos_p.add_argument("--transients", type=int, default=1,
+                         help="jobs raising a transient error (default 1)")
+    chaos_p.add_argument("--corrupt", type=int, default=1,
+                         help="cache blobs bit-flipped after write "
+                              "(default 1)")
+    chaos_p.add_argument("--torn", type=int, default=0,
+                         help="cache blobs truncated after write")
+    chaos_p.add_argument("--disk-full", type=int, default=0,
+                         help="cache writes raising ENOSPC")
+    chaos_p.add_argument("--hang-seconds", type=float, default=30.0,
+                         help="how long a hung job sleeps (default 30)")
+    chaos_p.add_argument("--job-timeout", type=float, default=None,
+                         metavar="SECONDS",
+                         help="per-job wall-clock budget (required for "
+                              "--hangs to be survivable)")
+    chaos_p.add_argument("--retries", type=int, default=3, metavar="N")
+    chaos_p.add_argument("--cache-dir", default=None,
+                         help="cache/journal directory (default: fresh "
+                              "temp dir)")
+
     ins_p = sub.add_parser(
         "inspect", help="summarize an exported event trace"
     )
@@ -440,6 +619,7 @@ _HANDLERS = {
     "table2": _cmd_table2,
     "headline": _cmd_headline,
     "reproduce": _cmd_reproduce,
+    "chaos": _cmd_chaos,
     "inspect": _cmd_inspect,
     "trace-gen": _cmd_trace_gen,
 }

@@ -50,5 +50,32 @@ class ExperimentError(ReproError):
     """
 
 
+class TransientJobError(ReproError):
+    """A job failed for a reason that retrying can plausibly fix.
+
+    The transient/fatal split drives the resilience layer's retry
+    policy: transient failures (a killed worker, a wall-clock timeout,
+    an injected chaos fault) are retried with backoff; everything else
+    is deterministic — the same inputs would fail the same way — and is
+    surfaced immediately instead of wasting retry budget.
+    """
+
+
+class WorkerCrashError(TransientJobError):
+    """A pool worker process died mid-job (e.g. OOM-killed, SIGKILL)."""
+
+
+class JobTimeoutError(TransientJobError):
+    """A job exceeded its per-job wall-clock timeout (presumed hung)."""
+
+
+class FatalJobError(ExperimentError):
+    """A job failed deterministically, or exhausted its retry budget.
+
+    Carries the last underlying error as ``__cause__``; raised by the
+    resilient engine instead of retrying forever.
+    """
+
+
 class SimulationError(ReproError):
     """The simulation reached an impossible state (e.g. deadlock)."""

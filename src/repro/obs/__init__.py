@@ -18,10 +18,15 @@ The instrumentation layer for the whole reproduction:
 from .events import (
     EV_COMPLETE,
     EV_CPU_STALL,
+    EV_DEGRADED,
     EV_DRAIN,
     EV_ENQUEUE,
+    EV_FAULT,
     EV_ISSUE,
+    EV_POOL_REBUILD,
+    EV_QUARANTINE,
     EV_QUEUE_STALL,
+    EV_RETRY,
     EV_RUN_END,
     EV_SENSE,
     EV_WRITE_PULSE,
@@ -64,10 +69,15 @@ from .registry import MetricRegistry, RunMetrics, TileMetrics, tile_label
 __all__ = [
     "EV_COMPLETE",
     "EV_CPU_STALL",
+    "EV_DEGRADED",
     "EV_DRAIN",
     "EV_ENQUEUE",
+    "EV_FAULT",
     "EV_ISSUE",
+    "EV_POOL_REBUILD",
+    "EV_QUARANTINE",
     "EV_QUEUE_STALL",
+    "EV_RETRY",
     "EV_RUN_END",
     "EV_SENSE",
     "EV_WRITE_PULSE",

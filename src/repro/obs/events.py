@@ -32,9 +32,20 @@ EV_COMPLETE = "complete"        #: read data delivered (value = latency)
 EV_CPU_STALL = "cpu_stall"      #: CPU made no progress (service = reason)
 EV_RUN_END = "run_end"          #: simulation finished (value = instructions)
 
+#: Resilience-layer kinds published by the fault-tolerant experiment
+#: engine (:mod:`repro.resilience`).  These describe the *harness*, not
+#: the simulated machine, so ``cycle`` carries the batch job index and
+#: ``service`` the fault kind / failure reason instead of tile state.
+EV_FAULT = "fault"              #: chaos fault injected (service = kind)
+EV_RETRY = "retry"              #: job rescheduled (value = attempt number)
+EV_QUARANTINE = "quarantine"    #: corrupt cache blob moved aside
+EV_POOL_REBUILD = "pool_rebuild"  #: broken/hung worker pool replaced
+EV_DEGRADED = "degraded"        #: engine fell back to serial execution
+
 EVENT_KINDS = (
     EV_ENQUEUE, EV_ISSUE, EV_SENSE, EV_WRITE_PULSE, EV_QUEUE_STALL,
     EV_DRAIN, EV_COMPLETE, EV_CPU_STALL, EV_RUN_END,
+    EV_FAULT, EV_RETRY, EV_QUARANTINE, EV_POOL_REBUILD, EV_DEGRADED,
 )
 
 

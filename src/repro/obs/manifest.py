@@ -57,6 +57,13 @@ class RunManifest:
     wall_s: float = 0.0
     busy_s: float = 0.0
     engine: Dict[str, int] = field(default_factory=dict)
+    #: Fault-tolerance counters (retries, injected faults, quarantined
+    #: blobs, pool rebuilds, ...) — how dirty the run was.  Empty for
+    #: the plain engine; populated by :mod:`repro.resilience`.
+    resilience: Dict[str, int] = field(default_factory=dict)
+    #: True when the run was interrupted (SIGINT) and this manifest
+    #: records the partial results flushed on the way out.
+    interrupted: bool = False
     jobs: List[JobRecord] = field(default_factory=list)
 
     @property

@@ -56,17 +56,24 @@ def run_benchmark(
     return simulate(config, trace, probe=probe)
 
 
-def prefetch_jobs(runner, jobs: "Sequence[tuple]") -> None:
+def prefetch_jobs(runner, jobs: "Sequence[tuple]",
+                  label: Optional[str] = None) -> None:
     """Warm a cache/engine with (config, benchmark, requests) tuples.
 
     When ``runner`` is a :class:`repro.sim.parallel.ParallelExperimentEngine`
     the whole batch fans out across the pool in one go; a plain
     :class:`ExperimentCache` (or ``None``) warms nothing — subsequent
-    ``run`` calls simulate serially exactly as before.
+    ``run`` calls simulate serially exactly as before.  ``label`` tags
+    the batch for engines that journal their progress (the resilient
+    engine's sweep journal records it per completed job).
     """
     run_jobs = getattr(runner, "run_jobs", None)
     if run_jobs is None:
         return
+    if label is not None:
+        begin_batch = getattr(runner, "begin_batch", None)
+        if begin_batch is not None:
+            begin_batch(label)
     from .parallel import ExperimentJob
 
     run_jobs([ExperimentJob(config, benchmark, requests)
@@ -103,7 +110,8 @@ def compare_architectures(
     results are assembled in label order.
     """
     prefetch_jobs(cache, [(config, benchmark, requests)
-                          for config in configs.values()])
+                          for config in configs.values()],
+                  label=f"compare:{benchmark}")
     results: Dict[str, SimResult] = {}
     for label, config in configs.items():
         if cache is not None:
@@ -143,7 +151,8 @@ def sweep_benchmarks(
 ) -> Dict[str, SimResult]:
     """Run one configuration across a benchmark list."""
     benchmarks = list(benchmarks)
-    prefetch_jobs(cache, [(config, name, requests) for name in benchmarks])
+    prefetch_jobs(cache, [(config, name, requests) for name in benchmarks],
+                  label=f"benchmarks:{config.name}")
     results = {}
     for name in benchmarks:
         if cache is not None:

@@ -103,7 +103,8 @@ def parameter_sweep(
     """
     sweep = SweepResult(path=path, benchmark=benchmark, values=list(values))
     configs = swept_configs(base, path, values)
-    prefetch_jobs(engine, [(cfg, benchmark, requests) for cfg in configs])
+    prefetch_jobs(engine, [(cfg, benchmark, requests) for cfg in configs],
+                  label=f"sweep:{path}")
     for cfg in configs:
         if engine is not None:
             sweep.results.append(engine.run(cfg, benchmark, requests))

@@ -1,0 +1,95 @@
+"""Unit tests for the append-only sweep journal."""
+
+import json
+
+from repro.config import fgnvm
+from repro.resilience import JOURNAL_SCHEMA, SweepJournal
+from repro.sim.parallel import DiskResultCache, ExperimentJob, execute_job
+
+REQUESTS = 300
+
+
+def small(cfg):
+    cfg.org.rows_per_bank = 512
+    return cfg
+
+
+def job():
+    return ExperimentJob(small(fgnvm(4, 4)), "sphinx3", REQUESTS)
+
+
+class TestJournal:
+    def test_record_and_read_back(self, tmp_path):
+        journal = SweepJournal(tmp_path / "j.jsonl")
+        journal.record("a" * 64, "1" * 64, job=job(), batch="sweep:x")
+        journal.record("b" * 64, "2" * 64)
+        entries = journal.entries()
+        assert len(journal) == 2
+        assert entries[0]["schema"] == JOURNAL_SCHEMA
+        assert entries[0]["key"] == "a" * 64
+        assert entries[0]["config"] == job().config.name
+        assert entries[0]["benchmark"] == "sphinx3"
+        assert entries[0]["batch"] == "sweep:x"
+        assert journal.completed() == {
+            "a" * 64: "1" * 64,
+            "b" * 64: "2" * 64,
+        }
+
+    def test_missing_file_is_empty(self, tmp_path):
+        journal = SweepJournal(tmp_path / "missing.jsonl")
+        assert journal.entries() == []
+        assert journal.completed() == {}
+        assert len(journal) == 0
+
+    def test_later_entries_win(self, tmp_path):
+        journal = SweepJournal(tmp_path / "j.jsonl")
+        journal.record("a" * 64, "1" * 64)
+        journal.record("a" * 64, "2" * 64)  # recomputed after quarantine
+        assert journal.completed() == {"a" * 64: "2" * 64}
+
+    def test_torn_trailing_line_tolerated(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = SweepJournal(path)
+        journal.record("a" * 64, "1" * 64)
+        journal.record("b" * 64, "2" * 64)
+        # Simulate a kill mid-append: last line cut short.
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) - 40])
+        assert journal.completed() == {"a" * 64: "1" * 64}
+        assert journal.skipped_lines == 1
+
+    def test_garbage_lines_skipped(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = SweepJournal(path)
+        journal.record("a" * 64, "1" * 64)
+        with path.open("a") as handle:
+            handle.write("not json at all\n")
+            handle.write(json.dumps(["a", "list"]) + "\n")
+        assert journal.completed() == {"a" * 64: "1" * 64}
+        assert journal.skipped_lines == 2
+
+    def test_code_version_filter(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        old = SweepJournal(path, code_version="vOld")
+        old.record("a" * 64, "1" * 64)
+        new = SweepJournal(path, code_version="vNew")
+        new.record("b" * 64, "2" * 64)
+        assert new.completed() == {"b" * 64: "2" * 64}
+        assert old.completed() == {"a" * 64: "1" * 64}
+        assert len(new) == 2  # entries() is version-agnostic
+
+    def test_verified_keys_checks_the_blobs(self, tmp_path):
+        disk = DiskResultCache(tmp_path / "cache")
+        journal = SweepJournal(tmp_path / "cache" / "j.jsonl")
+        result = execute_job(job())
+
+        good, rotten, missing = "a" * 64, "b" * 64, "c" * 64
+        journal.record(good, disk.put(good, result))
+        disk.put(rotten, result)
+        journal.record(rotten, "0" * 64)  # journal disagrees with blob
+        journal.record(missing, "1" * 64)  # blob never written
+
+        assert journal.verified_keys(disk) == {good}
+        # The mismatching blob was quarantined, not trusted.
+        assert disk.corrupt_blobs == 1
+        assert disk.get(rotten) is None

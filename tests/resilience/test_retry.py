@@ -1,0 +1,77 @@
+"""Unit tests for the retry policy and the transient/fatal split."""
+
+from concurrent.futures.process import BrokenProcessPool
+
+import pytest
+
+from repro.errors import (
+    ExperimentError,
+    FatalJobError,
+    JobTimeoutError,
+    ReproError,
+    TransientJobError,
+    WorkerCrashError,
+)
+from repro.resilience import DEFAULT_RETRY_POLICY, RetryPolicy, is_transient
+
+
+class TestTransientSplit:
+    def test_transient_types(self):
+        assert is_transient(TransientJobError("x"))
+        assert is_transient(WorkerCrashError("x"))
+        assert is_transient(JobTimeoutError("x"))
+        assert is_transient(BrokenProcessPool())
+        assert is_transient(TimeoutError())
+        assert is_transient(ConnectionError())
+
+    def test_fatal_types(self):
+        assert not is_transient(ValueError("deterministic"))
+        assert not is_transient(ExperimentError("bad config"))
+        assert not is_transient(FatalJobError("gave up"))
+        assert not is_transient(KeyboardInterrupt())
+
+    def test_error_hierarchy(self):
+        # Transient errors subclass ReproError; fatal wraps are
+        # ExperimentError so existing handlers keep catching them.
+        assert issubclass(TransientJobError, ReproError)
+        assert issubclass(WorkerCrashError, TransientJobError)
+        assert issubclass(JobTimeoutError, TransientJobError)
+        assert issubclass(FatalJobError, ExperimentError)
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ExperimentError):
+            RetryPolicy(jitter=1.5)
+        with pytest.raises(ExperimentError):
+            RetryPolicy().delay(0)
+
+    def test_delay_grows_exponentially_without_jitter(self):
+        policy = RetryPolicy(base_delay_s=0.1, max_delay_s=10.0, jitter=0.0)
+        assert policy.delay(1) == pytest.approx(0.1)
+        assert policy.delay(2) == pytest.approx(0.2)
+        assert policy.delay(3) == pytest.approx(0.4)
+
+    def test_delay_capped(self):
+        policy = RetryPolicy(base_delay_s=1.0, max_delay_s=1.5, jitter=0.0)
+        assert policy.delay(10) == pytest.approx(1.5)
+
+    def test_jitter_is_deterministic_and_bounded(self):
+        policy = RetryPolicy(base_delay_s=0.1, jitter=0.25, seed=42)
+        for attempt in (1, 2, 3):
+            raw = min(policy.max_delay_s,
+                      policy.base_delay_s * 2 ** (attempt - 1))
+            delay = policy.delay(attempt)
+            assert delay == policy.delay(attempt)  # seeded => repeatable
+            assert raw * 0.75 <= delay <= raw * 1.25
+
+    def test_different_seeds_jitter_differently(self):
+        a = RetryPolicy(seed=1).delay(1)
+        b = RetryPolicy(seed=2).delay(1)
+        assert a != b
+
+    def test_default_policy_is_snappy(self):
+        assert DEFAULT_RETRY_POLICY.max_attempts == 3
+        assert DEFAULT_RETRY_POLICY.delay(1) < 0.1

@@ -8,7 +8,9 @@ from repro.config import baseline_nvm, fgnvm
 from repro.errors import ExperimentError
 from repro.sim.experiment import ExperimentCache, run_benchmark
 from repro.sim.parallel import (
+    BLOB_MAGIC,
     CODE_VERSION,
+    QUARANTINE_DIR,
     DiskResultCache,
     ExperimentJob,
     ParallelExperimentEngine,
@@ -17,6 +19,7 @@ from repro.sim.parallel import (
     config_digest,
     execute_job,
     job_key,
+    result_digest,
 )
 
 REQUESTS = 300
@@ -96,6 +99,78 @@ class TestDiskResultCache:
         path.write_bytes(b"not a pickle")
         assert cache.get(key) is None
         assert not path.exists()
+
+    def test_corrupt_blob_quarantined_not_deleted(self, tmp_path):
+        cache = DiskResultCache(tmp_path)
+        key = "ef" * 32
+        path = cache._path(key)
+        path.parent.mkdir(parents=True)
+        path.write_bytes(b"not a pickle")
+        assert cache.get(key) is None
+        quarantined = list((tmp_path / QUARANTINE_DIR).glob("*.corrupt"))
+        assert len(quarantined) == 1
+        assert quarantined[0].read_bytes() == b"not a pickle"
+        assert cache.corrupt_blobs == 1
+
+    def test_blobs_written_framed_with_checksum(self, tmp_path):
+        cache = DiskResultCache(tmp_path)
+        result = execute_job(job())
+        digest = cache.put("ab" * 32, result)
+        raw = cache._path("ab" * 32).read_bytes()
+        assert raw.startswith(BLOB_MAGIC)
+        _payload, expected = result_digest(result)
+        assert digest == expected
+        assert raw[len(BLOB_MAGIC):len(BLOB_MAGIC) + 64].decode() == digest
+
+    def test_checksum_mismatch_quarantines(self, tmp_path):
+        cache = DiskResultCache(tmp_path)
+        key = "ab" * 32
+        cache.put(key, execute_job(job()))
+        path = cache._path(key)
+        data = bytearray(path.read_bytes())
+        data[-1] ^= 0xFF
+        path.write_bytes(bytes(data))
+        assert cache.get(key) is None
+        assert cache.corrupt_blobs == 1
+        assert not path.exists()
+
+    def test_verify_detects_digest_mismatch(self, tmp_path):
+        cache = DiskResultCache(tmp_path)
+        key = "ab" * 32
+        digest = cache.put(key, execute_job(job()))
+        assert cache.verify(key, digest)
+        assert not cache.verify(key, "0" * 64)  # quarantines too
+        assert cache.get(key) is None
+
+    def test_legacy_unframed_blob_still_readable(self, tmp_path):
+        cache = DiskResultCache(tmp_path)
+        key = "ab" * 32
+        result = execute_job(job())
+        path = cache._path(key)
+        path.parent.mkdir(parents=True)
+        path.write_bytes(pickle.dumps(result))  # pre-framing format
+        loaded = cache.get(key)
+        assert loaded is not None
+        assert loaded.summary() == result.summary()
+
+    def test_unwritable_cache_dir_rejected_up_front(self, tmp_path):
+        target = tmp_path / "blocked"
+        target.write_text("a file, not a directory")
+        with pytest.raises(ExperimentError, match="not a writable"):
+            DiskResultCache(target)
+
+    def test_quarantine_excluded_from_keys_len_purge(self, tmp_path):
+        cache = DiskResultCache(tmp_path)
+        cache.put("ab" * 32, execute_job(job()))
+        bad = cache._path("cd" * 32)
+        bad.parent.mkdir(parents=True, exist_ok=True)
+        bad.write_bytes(b"junk")
+        assert cache.get("cd" * 32) is None  # quarantined
+        assert cache.keys() == ["ab" * 32]
+        assert len(cache) == 1
+        assert cache.purge() == 1
+        quarantined = list((tmp_path / QUARANTINE_DIR).glob("*.corrupt"))
+        assert len(quarantined) == 1  # purge leaves the evidence
 
     def test_purge(self, tmp_path):
         cache = DiskResultCache(tmp_path)

@@ -146,6 +146,98 @@ class TestReproduce:
         assert "ok" in out
 
 
+class TestEngineValidation:
+    def test_negative_workers_rejected_cleanly(self, capsys):
+        with pytest.raises(SystemExit, match="--workers must be >= 0"):
+            main([
+                "run", "--benchmark", "sphinx3", "--requests", "300",
+                "--workers", "-2",
+            ])
+
+    def test_unwritable_cache_dir_rejected_cleanly(self, tmp_path):
+        blocker = tmp_path / "not-a-dir"
+        blocker.write_text("file in the way")
+        with pytest.raises(SystemExit, match="not a writable directory"):
+            main([
+                "run", "--benchmark", "sphinx3", "--requests", "300",
+                "--cache-dir", str(blocker),
+            ])
+
+    def test_bad_retries_rejected(self):
+        with pytest.raises(SystemExit, match="--retries"):
+            main([
+                "run", "--benchmark", "sphinx3", "--requests", "300",
+                "--retries", "0",
+            ])
+
+    def test_bad_job_timeout_rejected(self):
+        with pytest.raises(SystemExit, match="--job-timeout"):
+            main([
+                "run", "--benchmark", "sphinx3", "--requests", "300",
+                "--job-timeout", "-1",
+            ])
+
+    def test_resume_without_cache_dir_rejected(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        with pytest.raises(SystemExit, match="persistent cache"):
+            main([
+                "run", "--benchmark", "sphinx3", "--requests", "300",
+                "--resume",
+            ])
+
+    def test_run_with_cache_writes_manifest_and_journal(
+        self, tmp_path, capsys
+    ):
+        cache_dir = tmp_path / "cache"
+        assert main([
+            "run", "--benchmark", "sphinx3", "--requests", "300",
+            "--cache-dir", str(cache_dir),
+        ]) == 0
+        assert (cache_dir / "run-manifest.json").exists()
+        assert (cache_dir / "sweep-journal.jsonl").exists()
+        err = capsys.readouterr().err
+        assert "run manifest" in err
+
+    def test_resume_run_simulates_nothing(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        args = [
+            "run", "--benchmark", "sphinx3", "--requests", "300",
+            "--cache-dir", str(cache_dir),
+        ]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main(args + ["--resume"]) == 0
+        captured = capsys.readouterr()
+        assert captured.out == first
+        assert "0 simulation(s)" in captured.err
+
+
+class TestChaos:
+    def test_chaos_round_trip_is_bit_identical(self, tmp_path, capsys):
+        code = main([
+            "chaos", "--jobs", "4", "--workers", "1",
+            "--benchmark", "sphinx3", "--requests", "300",
+            "--crashes", "1", "--transients", "1", "--corrupt", "1",
+            "--cache-dir", str(tmp_path / "cache"),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fault plan (seed 0), 3 fault(s)" in out
+        assert "bit-identical" in out
+        assert (tmp_path / "cache" / "run-manifest.json").exists()
+
+    def test_chaos_validates_fault_budget(self):
+        with pytest.raises(SystemExit, match="cannot place"):
+            main([
+                "chaos", "--jobs", "1", "--crashes", "5",
+                "--requests", "300",
+            ])
+
+    def test_chaos_rejects_zero_jobs(self):
+        with pytest.raises(SystemExit, match="--jobs"):
+            main(["chaos", "--jobs", "0", "--requests", "300"])
+
+
 class TestInstrumentation:
     def test_emit_trace_jsonl(self, tmp_path, capsys):
         path = tmp_path / "events.jsonl"
