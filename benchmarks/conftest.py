@@ -4,6 +4,14 @@ Every bench regenerates one paper artifact (table or figure), prints the
 same rows/series the paper reports, and archives the rendering under
 ``benchmarks/results/`` so EXPERIMENTS.md can cite actual output.
 
+Telemetry: the session always ends by writing a run manifest (per-job
+provenance and engine counters) and a ``BENCH_PERF.json`` perf ledger
+(simulated-cycles/sec per job, worker utilization, and a digest index
+of every published artifact) — for *serial* sessions too, so a
+single-worker CI run is not invisible in telemetry.  With a cache dir
+set both land next to the cache; otherwise they land in
+``benchmarks/results/``.
+
 Scale knobs:
 
 * ``REPRO_BENCH_REQUESTS`` (default 2500) — trace length per
@@ -17,14 +25,20 @@ Scale knobs:
 
 from __future__ import annotations
 
+import hashlib
 import os
 from pathlib import Path
 
 import pytest
 
+from repro.obs.perf import LEDGER_BASENAME, PerfLedger, fold_manifest
 from repro.sim.parallel import ParallelExperimentEngine
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Session-wide artifact digest index folded into the perf ledger: the
+#: ledger-backed record of what :func:`publish` produced this session.
+_ARTIFACT_DIGESTS: "dict[str, str]" = {}
 
 
 def bench_requests() -> int:
@@ -49,18 +63,32 @@ def cache():
     the expensive simulations happen exactly once each; with
     ``REPRO_BENCH_WORKERS`` > 1 each figure's grid fans out across a
     process pool, and ``REPRO_BENCH_CACHE_DIR`` persists every result
-    across sessions.  When a cache dir is set, the session ends by
-    writing ``<cache-dir>/run-manifest.json`` — per-job provenance plus
-    engine counters — so CI can archive what the smoke run actually did.
+    across sessions.  The session ends by writing ``run-manifest.json``
+    and the ``BENCH_PERF.json`` perf ledger — next to the cache when
+    one is set, under ``benchmarks/results/`` otherwise — so serial
+    and pooled sessions alike leave telemetry CI can archive.
     """
     engine = ParallelExperimentEngine(
         workers=bench_workers(),
         cache_dir=os.environ.get("REPRO_BENCH_CACHE_DIR") or None,
     )
     yield engine
-    manifest_path = engine.write_manifest()
-    if manifest_path is not None:
-        print(f"\n[bench] run manifest: {manifest_path}")
+    _write_session_telemetry(engine)
+
+
+def _write_session_telemetry(engine: ParallelExperimentEngine) -> None:
+    """Manifest + perf ledger, for pooled and serial sessions alike."""
+    out_dir = engine.disk.root if engine.disk is not None else RESULTS_DIR
+    out_dir.mkdir(parents=True, exist_ok=True)
+    manifest = engine.manifest()
+    manifest_path = manifest.write(out_dir / "run-manifest.json")
+    print(f"\n[bench] run manifest: {manifest_path}")
+    ledger = fold_manifest(
+        PerfLedger(code_version=engine.code_version), manifest
+    )
+    ledger.artifacts = dict(_ARTIFACT_DIGESTS)
+    ledger_path = ledger.write(out_dir / LEDGER_BASENAME)
+    print(f"[bench] perf ledger: {ledger_path}")
 
 
 @pytest.fixture(scope="session")
@@ -70,7 +98,10 @@ def results_dir() -> Path:
 
 
 def publish(results_dir: Path, name: str, text: str) -> None:
-    """Print an artifact and archive it for EXPERIMENTS.md."""
+    """Print an artifact, archive it, and index it in the perf ledger."""
     print()
     print(text)
     (results_dir / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+    _ARTIFACT_DIGESTS[name] = hashlib.sha256(
+        text.encode("utf-8")
+    ).hexdigest()

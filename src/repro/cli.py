@@ -8,6 +8,10 @@ Commands:
   regenerate the paper artifacts,
 * ``chaos`` — run a sweep under a seeded fault plan and prove the
   results bit-identical to a fault-free serial run,
+* ``profile`` — attribute the simulator's own wall time to named
+  phases (CPU tick, controller scheduling, bank issue, ...),
+* ``perf record`` / ``perf compare`` — write the ``BENCH_PERF.json``
+  throughput ledger and gate it against a committed baseline,
 * ``trace-gen`` — write a benchmark profile's trace to disk (native or
   NVMain format),
 * ``list`` — show the available configurations and benchmark profiles.
@@ -21,7 +25,9 @@ from __future__ import annotations
 import argparse
 import dataclasses
 import json
+import os
 import sys
+import time
 from typing import Callable, Dict, List, Optional
 
 from . import analysis
@@ -32,6 +38,16 @@ from .obs import (
     export_events,
     inspect_trace,
     make_probe,
+)
+from .obs.inspect import load_events, summarize_events
+from .obs.perf import (
+    DEFAULT_REL_TOL,
+    PerfEntry,
+    PerfLedger,
+    PhaseTimer,
+    compare_ledgers,
+    phase_table,
+    read_ledger,
 )
 from .config import (
     SystemConfig,
@@ -460,8 +476,125 @@ def _cmd_chaos(args) -> int:
 
 
 def _cmd_inspect(args) -> int:
+    if args.json:
+        summary = summarize_events(load_events(args.trace))
+        print(json.dumps(summary, indent=2, sort_keys=True))
+        return 0
     print(inspect_trace(args.trace, timeline_width=args.timeline))
     return 0
+
+
+def _cmd_profile(args) -> int:
+    """Attribute the simulator's own wall time to named phases."""
+    if args.requests < 1:
+        raise ExperimentError(
+            f"--requests must be >= 1, got {args.requests}"
+        )
+    config = build_config(args.config)
+    profiler = PhaseTimer()
+    pstats_profile = None
+    if args.emit_pstats:
+        import cProfile
+
+        pstats_profile = cProfile.Profile()
+        pstats_profile.enable()
+    started = time.perf_counter()
+    result = run_benchmark(
+        config, args.benchmark, args.requests, profiler=profiler
+    )
+    wall_s = time.perf_counter() - started
+    if pstats_profile is not None:
+        pstats_profile.disable()
+        pstats_profile.dump_stats(args.emit_pstats)
+        print(f"wrote cProfile stats to {args.emit_pstats} "
+              f"(python -m pstats / snakeviz)", file=sys.stderr)
+    print(f"profile: {config.name} on {args.benchmark} "
+          f"({args.requests} requests)")
+    # The run summary first: profiling is pure observation, so this
+    # block is identical to what `repro run` prints for the same job.
+    print(dict_table(result.summary()))
+    print()
+    print(phase_table(profiler))
+    print()
+    print(
+        f"throughput: {result.cycles / wall_s:,.0f} simulated cycles/s, "
+        f"{args.requests / wall_s:,.0f} requests/s "
+        f"({wall_s:.3f} s wall, {result.cycles} cycles)"
+    )
+    return 0
+
+
+def _cmd_perf(args) -> int:
+    return {"record": _perf_record, "compare": _perf_compare}[
+        args.perf_command
+    ](args)
+
+
+def _perf_record(args) -> int:
+    """Measure simulator throughput and write the BENCH_PERF.json ledger."""
+    from .sim.parallel import CODE_VERSION
+
+    if args.repeats < 1:
+        raise ExperimentError(f"--repeats must be >= 1, got {args.repeats}")
+    if args.requests < 1:
+        raise ExperimentError(
+            f"--requests must be >= 1, got {args.requests}"
+        )
+    ledger = PerfLedger(code_version=CODE_VERSION)
+    for config_name in args.configs:
+        config = build_config(config_name)
+        for benchmark in args.benchmarks:
+            entry = PerfEntry(
+                name=f"{config_name}:{benchmark}:{args.requests}",
+                config=config_name,
+                benchmark=benchmark,
+                requests=args.requests,
+            )
+            result = None
+            for _ in range(args.repeats):
+                started = time.perf_counter()
+                result = run_benchmark(config, benchmark, args.requests)
+                entry.samples_wall_s.append(time.perf_counter() - started)
+            entry.sim_cycles = result.cycles
+            entry.instructions = result.instructions
+            if args.phases:
+                # A separate profiled run, so the timing samples above
+                # are not perturbed by the profiler's own clock reads.
+                profiler = PhaseTimer()
+                run_benchmark(
+                    config, benchmark, args.requests, profiler=profiler
+                )
+                entry.phases = profiler.as_dict()
+            ledger.add_entry(entry)
+            print(
+                f"  {entry.name}: {entry.cycles_per_s:,.0f} cycles/s, "
+                f"{entry.requests_per_s:,.0f} requests/s "
+                f"(median of {args.repeats}, {entry.wall_s:.3f} s)"
+            )
+    path = ledger.write(args.out)
+    print(f"wrote perf ledger: {path} "
+          f"(host {ledger.fingerprint}, git {ledger.git_sha})")
+    return 0
+
+
+def _perf_compare(args) -> int:
+    """Gate NEW against OLD; non-zero exit on a same-host regression."""
+    if args.rel_tol < 0:
+        raise ExperimentError(
+            f"--rel-tol must be >= 0, got {args.rel_tol}"
+        )
+    if not os.path.exists(args.old):
+        print(f"no baseline ledger at {args.old}; nothing to gate "
+              f"(record one with `repro perf record`)")
+        return 0
+    report = compare_ledgers(
+        read_ledger(args.old),
+        read_ledger(args.new),
+        rel_tol=args.rel_tol,
+        metric=args.metric,
+    )
+    print(report.render())
+    return 0 if report.ok else 1
 
 
 def _cmd_trace_gen(args) -> int:
@@ -597,6 +730,66 @@ def make_parser() -> argparse.ArgumentParser:
         "--timeline", type=int, default=0, metavar="WIDTH",
         help="also render an ASCII tile timeline WIDTH columns wide",
     )
+    ins_p.add_argument(
+        "--json", action="store_true",
+        help="emit the full summary as machine-readable JSON instead "
+             "of the ASCII report (occupancy, Multi-Activation, "
+             "reads-under-write, counters)",
+    )
+
+    prof_p = sub.add_parser(
+        "profile",
+        help="profile the simulator itself: wall time per phase",
+    )
+    prof_p.add_argument("--config", default="fgnvm-8x2",
+                        choices=sorted(CONFIG_BUILDERS))
+    prof_p.add_argument("--benchmark", default="mcf")
+    prof_p.add_argument("--requests", type=int, default=5000)
+    prof_p.add_argument(
+        "--emit-pstats", metavar="PATH",
+        help="additionally run under cProfile and dump a standard "
+             "pstats file for python -m pstats / snakeviz",
+    )
+
+    perf_p = sub.add_parser(
+        "perf",
+        help="simulator throughput ledger (BENCH_PERF.json) and the "
+             "perf regression gate",
+    )
+    perf_sub = perf_p.add_subparsers(dest="perf_command", required=True)
+    rec_p = perf_sub.add_parser(
+        "record", help="measure throughput and write a perf ledger"
+    )
+    rec_p.add_argument("--configs", nargs="+", default=["fgnvm-8x2"],
+                       choices=sorted(CONFIG_BUILDERS))
+    rec_p.add_argument("--benchmarks", nargs="+", default=["mcf"])
+    rec_p.add_argument("--requests", type=int, default=2000)
+    rec_p.add_argument(
+        "--repeats", type=int, default=3, metavar="N",
+        help="timing samples per point; the ledger stores all of them "
+             "and rates use the median (default 3)",
+    )
+    rec_p.add_argument(
+        "--phases", action="store_true",
+        help="attach a phase breakdown from one extra profiled run",
+    )
+    rec_p.add_argument("--out", default="BENCH_PERF.json",
+                       help="ledger path (default BENCH_PERF.json)")
+    pcmp_p = perf_sub.add_parser(
+        "compare",
+        help="compare two ledgers; exit 1 on a same-host regression",
+    )
+    pcmp_p.add_argument("old", help="baseline ledger (committed)")
+    pcmp_p.add_argument("new", help="freshly recorded ledger")
+    pcmp_p.add_argument(
+        "--rel-tol", type=float, default=DEFAULT_REL_TOL,
+        help=f"relative throughput tolerance (default "
+             f"{DEFAULT_REL_TOL:.0%}); single-sample entries get 2x",
+    )
+    pcmp_p.add_argument(
+        "--metric", default="cycles_per_s",
+        choices=("cycles_per_s", "requests_per_s", "wall_s"),
+    )
 
     gen_p = sub.add_parser("trace-gen", help="write a profile trace")
     gen_p.add_argument("--profile", default="mcf")
@@ -621,6 +814,8 @@ _HANDLERS = {
     "reproduce": _cmd_reproduce,
     "chaos": _cmd_chaos,
     "inspect": _cmd_inspect,
+    "profile": _cmd_profile,
+    "perf": _cmd_perf,
     "trace-gen": _cmd_trace_gen,
 }
 

@@ -25,6 +25,7 @@ from ..memsys.controller import MemoryController  # noqa: F401 (doc type)
 from ..memsys.request import MemRequest, OpType
 from ..memsys.stats import StatsCollector
 from ..obs.events import EV_CPU_STALL, NULL_PROBE, Event, Probe
+from ..obs.perf.profiler import NULL_PROFILER, PhaseTimer
 from ..workloads.record import TraceRecord
 from .rob import ReorderBuffer
 
@@ -41,6 +42,7 @@ class TraceCpu:
         tck_ns: float,
         owner: int = 0,
         probe: Probe = NULL_PROBE,
+        profiler: PhaseTimer = NULL_PROFILER,
     ):
         self.params = params
         self.controller = controller
@@ -48,6 +50,10 @@ class TraceCpu:
         self.owner = owner
         self.stats = stats
         self.probe = probe
+        #: Wall-time phase profiler; the simulator times :meth:`tick`
+        #: from outside, so the CPU only carries the reference for
+        #: nested call sites (controller admission).
+        self.profiler = profiler
         self.rob = ReorderBuffer(params.rob_entries)
         self._trace: Iterator[TraceRecord] = iter(trace)
         self._current: Optional[TraceRecord] = None

@@ -20,6 +20,32 @@ from typing import Dict, List
 #: Latency histogram bucket edges, in memory cycles.
 LATENCY_BUCKETS = (8, 16, 32, 64, 128, 256, 512, 1024, 1 << 62)
 
+#: Percentiles reported from the bucketed histogram.
+LATENCY_PERCENTILES = (50, 95, 99)
+
+
+def histogram_percentile(histogram: "List[int]", percent: float,
+                         observed_max: int = 0) -> int:
+    """Bucket-resolution percentile from ``latency_le_*`` counts.
+
+    Returns the upper edge of the bucket the percentile falls in —
+    i.e. "p95 of reads completed within N cycles" — which is exactly
+    what a bucketed histogram can support.  The open-ended last bucket
+    reports ``observed_max`` (the tracked maximum) instead of the
+    sentinel edge.  Shared with the metric registry so event-derived
+    percentiles stay key-for-key equal to the collector's.
+    """
+    total = sum(histogram)
+    if total == 0:
+        return 0
+    threshold = percent / 100.0 * total
+    cumulative = 0
+    for edge, count in zip(LATENCY_BUCKETS, histogram):
+        cumulative += count
+        if cumulative >= threshold:
+            return observed_max if edge == LATENCY_BUCKETS[-1] else edge
+    return observed_max
+
 
 @dataclass
 class StatsCollector:
@@ -121,6 +147,12 @@ class StatsCollector:
     def avg_read_latency(self) -> float:
         return self.read_latency_sum / self.reads if self.reads else 0.0
 
+    def latency_percentile(self, percent: float) -> int:
+        """Bucket-resolution read-latency percentile (cycles)."""
+        return histogram_percentile(
+            self.latency_histogram, percent, self.read_latency_max
+        )
+
     def ipc(self, cpu_cycles_per_mem_cycle: float) -> float:
         """Instructions per CPU cycle over the simulated interval."""
         if self.cycles == 0:
@@ -154,4 +186,8 @@ class StatsCollector:
         for edge, count in zip(LATENCY_BUCKETS, self.latency_histogram):
             label = "inf" if edge == LATENCY_BUCKETS[-1] else str(edge)
             data[f"latency_le_{label}"] = count
+        for percent in LATENCY_PERCENTILES:
+            data[f"read_latency_p{percent}"] = self.latency_percentile(
+                percent
+            )
         return data

@@ -12,7 +12,11 @@ The instrumentation layer for the whole reproduction:
 * :mod:`repro.obs.inspect` — post-hoc trace analysis
   (``repro inspect <trace>``),
 * :mod:`repro.obs.manifest` — run provenance records written alongside
-  cached results.
+  cached results,
+* :mod:`repro.obs.perf` — performance observability for the simulator
+  itself: phase profiler (``repro profile``), the ``BENCH_PERF.json``
+  throughput ledger (``repro perf record``), and the noise-aware
+  regression gate (``repro perf compare``).
 """
 
 from .events import (
@@ -64,9 +68,33 @@ from .manifest import (
     RunManifest,
     read_manifest,
 )
+from .perf import (
+    NULL_PROFILER,
+    ComparisonReport,
+    PerfEntry,
+    PerfLedger,
+    PerfLedgerError,
+    PhaseTimer,
+    compare_ledgers,
+    fold_manifest,
+    make_profiler,
+    phase_table,
+    read_ledger,
+)
 from .registry import MetricRegistry, RunMetrics, TileMetrics, tile_label
 
 __all__ = [
+    "NULL_PROFILER",
+    "ComparisonReport",
+    "PerfEntry",
+    "PerfLedger",
+    "PerfLedgerError",
+    "PhaseTimer",
+    "compare_ledgers",
+    "fold_manifest",
+    "make_profiler",
+    "phase_table",
+    "read_ledger",
     "EV_COMPLETE",
     "EV_CPU_STALL",
     "EV_DEGRADED",

@@ -36,6 +36,11 @@ class JobRecord:
     seed: Optional[int]
     source: str             #: "memory" | "disk" | "simulated"
     wall_s: float           #: time to produce (≈0 for cache hits)
+    #: Simulated cycles/instructions of the result (0 when unknown) —
+    #: what turns a wall time into a simulated-cycles/sec figure for
+    #: the perf ledger (:mod:`repro.obs.perf.ledger`).
+    cycles: int = 0
+    instructions: int = 0
 
 
 @dataclass

@@ -1,0 +1,190 @@
+"""Phase profiler: where does the *simulator's* wall time go?
+
+The observability layer so far watches the simulated machine; this
+module watches the simulator as software.  A :class:`PhaseTimer`
+attributes wall-clock time and invocation counts to named phases —
+CPU tick, controller scheduling, bank issue, queue admission, stats
+collection, trace decode — through lightweight ``enter``/``exit`` hooks
+threaded along the same path as the event-bus probe
+(:class:`~repro.obs.events.Probe`).
+
+The hot-path contract matches the probe's: the shared
+:data:`NULL_PROFILER` has ``enabled = False`` and every instrumented
+call site guards with ``if profiler.enabled:`` before touching the
+clock, so an unprofiled simulation pays one attribute load and one
+branch per potential phase transition and is pinned bit-identical to
+the seed behaviour (``tests/obs/test_overhead.py``).  Profiling is pure
+observation either way — the timer never feeds back into simulated
+state — so even an *enabled* profiler cannot change results, only slow
+them down.
+
+Phases nest: time spent in ``bank.issue`` inside ``controller.schedule``
+is cumulative for the scheduler but not self time, exactly like
+cProfile's tottime/cumtime split.  ``--emit-pstats`` on the ``repro
+profile`` subcommand additionally runs the simulation under cProfile
+and dumps a standard ``pstats`` file for ``snakeviz``/``pstats``
+interop.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+#: Canonical phase names (the taxonomy documented in
+#: ``docs/performance.md``).  Instrumented components use these
+#: constants; ad-hoc phases are allowed but won't appear in docs.
+PH_RUN = "sim.run"                      #: whole Simulator.run() call
+PH_CPU_TICK = "cpu.tick"                #: TraceCpu fetch/retire step
+PH_CTRL_TICK = "controller.tick"        #: MemoryController.tick (completions + issue)
+PH_CTRL_SCHED = "controller.schedule"   #: scheduler candidate picking + issue loop
+PH_BANK_ISSUE = "bank.issue"            #: bank timing/state model per command
+PH_QUEUE_ADMIT = "queue.admission"      #: controller admission (can_accept/enqueue)
+PH_STATS = "stats.collect"              #: epoch sampling + end-of-run aggregation
+PH_TRACE_DECODE = "trace.decode"        #: trace generation / file decode
+PH_CLOCK = "sim.clock_advance"          #: event-skipping next-cycle search
+
+PHASE_NAMES = (
+    PH_RUN, PH_CPU_TICK, PH_CTRL_TICK, PH_CTRL_SCHED, PH_BANK_ISSUE,
+    PH_QUEUE_ADMIT, PH_STATS, PH_TRACE_DECODE, PH_CLOCK,
+)
+
+
+@dataclass
+class PhaseStat:
+    """Accumulated wall time and call count for one phase."""
+
+    calls: int = 0
+    cum_s: float = 0.0      #: wall time including nested phases
+    self_s: float = 0.0     #: wall time excluding nested phases
+
+    @property
+    def per_call_us(self) -> float:
+        """Mean self time per invocation in microseconds."""
+        return self.self_s / self.calls * 1e6 if self.calls else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "calls": self.calls,
+            "cum_s": round(self.cum_s, 6),
+            "self_s": round(self.self_s, 6),
+        }
+
+
+class PhaseTimer:
+    """Wall-time attribution across named, nesting phases.
+
+    Not thread-safe and not reentrant per phase (a phase must exit
+    before it is entered again); the simulator's single-threaded loop
+    satisfies both by construction.
+    """
+
+    __slots__ = ("enabled", "stats", "_stack", "_clock")
+
+    def __init__(self, enabled: bool = True,
+                 clock: Callable[[], float] = time.perf_counter):
+        self.enabled = enabled
+        self.stats: Dict[str, PhaseStat] = {}
+        #: Stack frames: [phase, start, child_seconds].
+        self._stack: List[list] = []
+        self._clock = clock
+
+    # -- hot-path hooks -----------------------------------------------------
+
+    def enter(self, phase: str) -> None:
+        if not self.enabled:
+            return
+        self._stack.append([phase, self._clock(), 0.0])
+
+    def exit(self, phase: str) -> None:
+        if not self.enabled:
+            return
+        if not self._stack:
+            raise ValueError(f"phase exit with no phase open: {phase!r}")
+        frame = self._stack.pop()
+        if frame[0] != phase:
+            raise ValueError(
+                f"phase exit mismatch: exiting {phase!r} but "
+                f"{frame[0]!r} is open"
+            )
+        elapsed = self._clock() - frame[1]
+        stat = self.stats.get(phase)
+        if stat is None:
+            stat = self.stats[phase] = PhaseStat()
+        stat.calls += 1
+        stat.cum_s += elapsed
+        stat.self_s += elapsed - frame[2]
+        if self._stack:
+            self._stack[-1][2] += elapsed
+
+    @contextmanager
+    def phase(self, name: str):
+        """``with profiler.phase("trace.decode"):`` — cold-path sugar."""
+        self.enter(name)
+        try:
+            yield self
+        finally:
+            self.exit(name)
+
+    # -- aggregation and views ----------------------------------------------
+
+    @property
+    def total_s(self) -> float:
+        """Wall seconds attributed to top-level phases."""
+        if PH_RUN in self.stats:
+            return self.stats[PH_RUN].cum_s
+        return sum(s.self_s for s in self.stats.values())
+
+    def merge(self, other: "PhaseTimer") -> None:
+        """Fold another timer's totals into this one (multi-run ledgers)."""
+        for phase, stat in other.stats.items():
+            mine = self.stats.setdefault(phase, PhaseStat())
+            mine.calls += stat.calls
+            mine.cum_s += stat.cum_s
+            mine.self_s += stat.self_s
+
+    def as_dict(self) -> Dict[str, Dict[str, float]]:
+        """Phase breakdown in ledger/JSON form, sorted by self time."""
+        return {
+            phase: stat.as_dict()
+            for phase, stat in sorted(
+                self.stats.items(), key=lambda kv: -kv[1].self_s
+            )
+        }
+
+
+def phase_table(timer: PhaseTimer) -> str:
+    """The ``repro profile`` report: self/cumulative time per phase."""
+    if not timer.stats:
+        return "(no phases recorded)"
+    total = sum(s.self_s for s in timer.stats.values()) or 1.0
+    header = (
+        f"{'phase':<22} {'calls':>10} {'cum s':>9} {'self s':>9} "
+        f"{'self %':>7} {'us/call':>9}"
+    )
+    lines = [header, "-" * len(header)]
+    for phase, stat in sorted(timer.stats.items(),
+                              key=lambda kv: -kv[1].self_s):
+        lines.append(
+            f"{phase:<22} {stat.calls:>10} {stat.cum_s:>9.3f} "
+            f"{stat.self_s:>9.3f} {stat.self_s / total:>6.1%} "
+            f"{stat.per_call_us:>9.2f}"
+        )
+    lines.append("-" * len(header))
+    lines.append(
+        f"{'total (self)':<22} {'':>10} {'':>9} "
+        f"{sum(s.self_s for s in timer.stats.values()):>9.3f}"
+    )
+    return "\n".join(lines)
+
+
+#: The shared disabled profiler every component defaults to (mirrors
+#: :data:`repro.obs.events.NULL_PROBE`).
+NULL_PROFILER = PhaseTimer(enabled=False)
+
+
+def make_profiler(enabled: bool = True) -> PhaseTimer:
+    """A fresh enabled timer, or the shared no-op when disabled."""
+    return PhaseTimer() if enabled else NULL_PROFILER

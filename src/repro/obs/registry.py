@@ -17,6 +17,11 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from ..memsys.stats import (
+    LATENCY_BUCKETS,
+    LATENCY_PERCENTILES,
+    histogram_percentile,
+)
 from .events import (
     EV_COMPLETE,
     EV_DRAIN,
@@ -101,6 +106,12 @@ class RunMetrics:
     completed_reads: int = 0
     read_latency_sum: int = 0
     read_latency_max: int = 0
+    #: Same bucket edges as :data:`repro.memsys.stats.LATENCY_BUCKETS`,
+    #: rebuilt from ``complete`` events, so percentiles stay
+    #: key-for-key equal to the collector's.
+    latency_histogram: List[int] = field(
+        default_factory=lambda: [0] * len(LATENCY_BUCKETS)
+    )
     read_queue_full_events: int = 0
     write_queue_full_events: int = 0
     drains_started: int = 0
@@ -163,6 +174,10 @@ class RunMetrics:
                 self.read_latency_sum += event.value
                 if event.value > self.read_latency_max:
                     self.read_latency_max = event.value
+                for index, edge in enumerate(LATENCY_BUCKETS):
+                    if event.value <= edge:
+                        self.latency_histogram[index] += 1
+                        break
         elif kind == EV_QUEUE_STALL:
             if event.op == "R":
                 self.read_queue_full_events += 1
@@ -231,7 +246,7 @@ class RunMetrics:
             self.read_latency_sum / self.completed_reads
             if self.completed_reads else 0.0
         )
-        return {
+        data = {
             "cycles": self.cycles,
             "instructions": self.instructions,
             "reads": reads,
@@ -255,6 +270,14 @@ class RunMetrics:
             "avg_read_latency_cycles": round(avg_latency, 2),
             "max_read_latency_cycles": self.read_latency_max,
         }
+        for edge, count in zip(LATENCY_BUCKETS, self.latency_histogram):
+            label = "inf" if edge == LATENCY_BUCKETS[-1] else str(edge)
+            data[f"latency_le_{label}"] = count
+        for percent in LATENCY_PERCENTILES:
+            data[f"read_latency_p{percent}"] = histogram_percentile(
+                self.latency_histogram, percent, self.read_latency_max
+            )
+        return data
 
 
 class MetricRegistry:

@@ -208,10 +208,10 @@ class ResilientEngine(ParallelExperimentEngine):
             raise
 
     def _record(self, job: ExperimentJob, key: str, source: str,
-                wall_s: float) -> None:
+                wall_s: float, result: "SimResult | None" = None) -> None:
         if source == "disk" and key in self._resumed_keys:
             self.rstats.resumed_hits += 1
-        super()._record(job, key, source, wall_s)
+        super()._record(job, key, source, wall_s, result)
 
     def _run_pending(
         self,

@@ -19,6 +19,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..config.params import SystemConfig
 from ..obs.events import Probe
+from ..obs.perf.profiler import PH_TRACE_DECODE, PhaseTimer
 from ..workloads.record import TraceRecord
 from ..workloads.spec_profiles import get_profile
 from ..workloads.tracegen import generate_trace
@@ -31,9 +32,10 @@ DEFAULT_REQUESTS = 20_000
 
 
 def run_trace(config: SystemConfig, trace: Iterable[TraceRecord],
-              probe: "Probe | None" = None) -> SimResult:
+              probe: "Probe | None" = None,
+              profiler: "PhaseTimer | None" = None) -> SimResult:
     """Simulate an explicit trace on one configuration."""
-    return simulate(config, trace, probe=probe)
+    return simulate(config, trace, probe=probe, profiler=profiler)
 
 
 def run_benchmark(
@@ -42,6 +44,7 @@ def run_benchmark(
     requests: int = DEFAULT_REQUESTS,
     seed: Optional[int] = None,
     probe: "Probe | None" = None,
+    profiler: "PhaseTimer | None" = None,
 ) -> SimResult:
     """Simulate one named benchmark profile on one configuration.
 
@@ -52,8 +55,12 @@ def run_benchmark(
     profile = get_profile(benchmark)
     if seed is not None:
         profile = dataclasses.replace(profile, seed=seed)
-    trace = generate_trace(profile, requests)
-    return simulate(config, trace, probe=probe)
+    if profiler is not None and profiler.enabled:
+        with profiler.phase(PH_TRACE_DECODE):
+            trace = generate_trace(profile, requests)
+    else:
+        trace = generate_trace(profile, requests)
+    return simulate(config, trace, probe=probe, profiler=profiler)
 
 
 def prefetch_jobs(runner, jobs: "Sequence[tuple]",

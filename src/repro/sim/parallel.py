@@ -469,12 +469,12 @@ class ParallelExperimentEngine:
         for job, key in zip(jobs, keys):
             if key in results:
                 self.stats.memory_hits += 1
-                self._record(job, key, "memory", 0.0)
+                self._record(job, key, "memory", 0.0, results[key])
                 continue
             if key in self._memory:
                 self.stats.memory_hits += 1
                 results[key] = self._memory[key]
-                self._record(job, key, "memory", 0.0)
+                self._record(job, key, "memory", 0.0, results[key])
                 continue
             if self.disk is not None:
                 fetch_started = time.monotonic()
@@ -484,7 +484,7 @@ class ParallelExperimentEngine:
                     results[key] = cached
                     self._memory[key] = cached
                     self._record(job, key, "disk",
-                                 time.monotonic() - fetch_started)
+                                 time.monotonic() - fetch_started, cached)
                     continue
             if key not in pending_keys:
                 pending.append(job)
@@ -535,7 +535,7 @@ class ParallelExperimentEngine:
         digest = self._persist(key, result)
         self.stats.executed += 1
         self._busy_s += wall_s
-        self._record(job, key, "simulated", wall_s)
+        self._record(job, key, "simulated", wall_s, result)
         return digest
 
     def _persist(self, key: str, result: SimResult) -> Optional[str]:
@@ -591,7 +591,7 @@ class ParallelExperimentEngine:
             yield timed
 
     def _record(self, job: ExperimentJob, key: str, source: str,
-                wall_s: float) -> None:
+                wall_s: float, result: "SimResult | None" = None) -> None:
         self.records.append(JobRecord(
             key=key,
             config=job.config.name,
@@ -601,6 +601,8 @@ class ParallelExperimentEngine:
             seed=job.seed,
             source=source,
             wall_s=round(wall_s, 6),
+            cycles=result.cycles if result is not None else 0,
+            instructions=result.instructions if result is not None else 0,
         ))
 
     # -- telemetry -----------------------------------------------------------

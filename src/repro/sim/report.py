@@ -18,7 +18,11 @@ from __future__ import annotations
 
 from typing import Dict, List
 
-from ..memsys.stats import LATENCY_BUCKETS, StatsCollector
+from ..memsys.stats import (
+    LATENCY_BUCKETS,
+    LATENCY_PERCENTILES,
+    StatsCollector,
+)
 from .reporting import ascii_table, bar_chart
 from .simulator import Simulator
 
@@ -36,9 +40,14 @@ def latency_histogram_table(stats: StatsCollector) -> str:
         rows.append([label, count, f"{share:.1%}",
                      "#" * max(0, round(40 * share))])
         lower = edge
-    return ascii_table(
+    table = ascii_table(
         ["latency (cycles)", "reads", "share", ""], rows
     )
+    percentiles = "  ".join(
+        f"p{percent}<={stats.latency_percentile(percent)}"
+        for percent in LATENCY_PERCENTILES
+    )
+    return f"{table}\npercentiles (cycles): {percentiles}"
 
 
 def service_mix(stats: StatsCollector) -> Dict[str, float]:

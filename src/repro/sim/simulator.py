@@ -29,6 +29,15 @@ from ..cpu.trace_cpu import TraceCpu
 from ..errors import SimulationError
 from ..memsys.stats import StatsCollector
 from ..obs.events import EV_RUN_END, NULL_PROBE, Event, Probe
+from ..obs.perf.profiler import (
+    NULL_PROFILER,
+    PH_CLOCK,
+    PH_CPU_TICK,
+    PH_CTRL_TICK,
+    PH_RUN,
+    PH_STATS,
+    PhaseTimer,
+)
 from ..workloads.record import TraceRecord
 from .epochs import EpochRecorder, EpochSample
 from .system import MemorySystem
@@ -65,12 +74,15 @@ class Simulator:
     """One CPU + one memory system, run to completion."""
 
     def __init__(self, config: SystemConfig, trace: Iterable[TraceRecord],
-                 probe: "Probe | None" = None):
+                 probe: "Probe | None" = None,
+                 profiler: "PhaseTimer | None" = None):
         validate_config(config)
         self.config = config
         self.stats = StatsCollector()
         self.probe = probe if probe is not None else NULL_PROBE
-        self.controller = MemorySystem(config, self.stats, probe=self.probe)
+        self.profiler = profiler if profiler is not None else NULL_PROFILER
+        self.controller = MemorySystem(config, self.stats, probe=self.probe,
+                                       profiler=self.profiler)
         self.cpu = TraceCpu(
             config.cpu,
             trace,
@@ -78,6 +90,7 @@ class Simulator:
             self.stats,
             config.timing.tck_ns,
             probe=self.probe,
+            profiler=self.profiler,
         )
         self.now = 0
         self._flush_started = False
@@ -94,15 +107,34 @@ class Simulator:
         sim = self.config.sim
         last_progress_marker = self._progress_marker()
         last_progress_cycle = 0
+        prof = self.profiler
+        profiling = prof.enabled
+        if profiling:
+            prof.enter(PH_RUN)
 
         while True:
-            completed = self.controller.tick(self.now)
+            if profiling:
+                prof.enter(PH_CTRL_TICK)
+                completed = self.controller.tick(self.now)
+                prof.exit(PH_CTRL_TICK)
+            else:
+                completed = self.controller.tick(self.now)
             finished_reads = sum(1 for req in completed if req.is_read)
             if finished_reads:
                 self.cpu.on_read_completed(finished_reads)
-            self.cpu.tick(self.now)
+            if profiling:
+                prof.enter(PH_CPU_TICK)
+                self.cpu.tick(self.now)
+                prof.exit(PH_CPU_TICK)
+            else:
+                self.cpu.tick(self.now)
             if self._epochs is not None:
-                self._epochs.observe(self.now, self.controller.pending)
+                if profiling:
+                    prof.enter(PH_STATS)
+                    self._epochs.observe(self.now, self.controller.pending)
+                    prof.exit(PH_STATS)
+                else:
+                    self._epochs.observe(self.now, self.controller.pending)
             if (self._warmup_left
                     and self.stats.requests >= self._warmup_left):
                 # Warm-up complete: statistics restart here.
@@ -128,7 +160,12 @@ class Simulator:
                     f"pending={self.controller.pending}"
                 )
 
-            self.now = self._next_cycle()
+            if profiling:
+                prof.enter(PH_CLOCK)
+                self.now = self._next_cycle()
+                prof.exit(PH_CLOCK)
+            else:
+                self.now = self._next_cycle()
             if self.now > sim.max_cycles:
                 raise SimulationError(
                     f"exceeded max_cycles={sim.max_cycles} "
@@ -142,7 +179,9 @@ class Simulator:
         cpu_ratio = self.config.cpu.cpu_cycles_per_mem_cycle(
             self.config.timing.tck_ns
         )
-        return SimResult(
+        if profiling:
+            prof.enter(PH_STATS)
+        result = SimResult(
             config=self.config,
             stats=self.stats,
             energy=measure_energy(self.config, self.stats),
@@ -152,6 +191,10 @@ class Simulator:
             instructions=self.stats.instructions,
             epochs=self._epochs.samples if self._epochs else None,
         )
+        if profiling:
+            prof.exit(PH_STATS)
+            prof.exit(PH_RUN)
+        return result
 
     # -- clock advance ------------------------------------------------------
 
@@ -177,6 +220,7 @@ class Simulator:
 
 
 def simulate(config: SystemConfig, trace: Iterable[TraceRecord],
-             probe: "Probe | None" = None) -> SimResult:
+             probe: "Probe | None" = None,
+             profiler: "PhaseTimer | None" = None) -> SimResult:
     """Build and run a simulator in one call (the common entry point)."""
-    return Simulator(config, trace, probe=probe).run()
+    return Simulator(config, trace, probe=probe, profiler=profiler).run()

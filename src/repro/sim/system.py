@@ -18,20 +18,24 @@ from ..memsys.controller import MemoryController
 from ..memsys.request import MemRequest, OpType
 from ..memsys.stats import StatsCollector
 from ..obs.events import NULL_PROBE, Probe
+from ..obs.perf.profiler import NULL_PROFILER, PhaseTimer
 
 
 class MemorySystem:
     """CPU-facing facade over the per-channel controllers."""
 
     def __init__(self, config: SystemConfig, stats: StatsCollector,
-                 probe: Probe = NULL_PROBE):
+                 probe: Probe = NULL_PROBE,
+                 profiler: PhaseTimer = NULL_PROFILER):
         self.config = config
         self.stats = stats
         self.probe = probe
+        self.profiler = profiler
         self.mapper = AddressMapper(config.org)
         self.controllers: List[MemoryController] = [
             MemoryController(config, stats, mapper=self.mapper,
-                             channel=index, probe=probe)
+                             channel=index, probe=probe,
+                             profiler=profiler)
             for index in range(config.org.channels)
         ]
 

@@ -2,7 +2,12 @@
 
 import pytest
 
-from repro.memsys.stats import LATENCY_BUCKETS, StatsCollector
+from repro.memsys.stats import (
+    LATENCY_BUCKETS,
+    LATENCY_PERCENTILES,
+    StatsCollector,
+    histogram_percentile,
+)
 
 
 class TestCounting:
@@ -60,6 +65,42 @@ class TestLatency:
 
     def test_bucket_edges_are_increasing(self):
         assert list(LATENCY_BUCKETS) == sorted(LATENCY_BUCKETS)
+
+
+class TestPercentiles:
+    def test_percentile_is_bucket_upper_edge(self):
+        stats = StatsCollector()
+        for _ in range(99):
+            stats.count_read_latency(8)     # bucket 0: <= 8
+        stats.count_read_latency(10)        # bucket 1: <= 16
+        assert stats.latency_percentile(50) == LATENCY_BUCKETS[0]
+        assert stats.latency_percentile(95) == LATENCY_BUCKETS[0]
+        assert stats.latency_percentile(99) == LATENCY_BUCKETS[0]
+        assert stats.latency_percentile(100) == LATENCY_BUCKETS[1]
+
+    def test_open_ended_bucket_reports_observed_max(self):
+        stats = StatsCollector()
+        stats.count_read_latency(10**9)
+        assert stats.latency_percentile(99) == 10**9
+
+    def test_empty_histogram_gives_zero(self):
+        assert StatsCollector().latency_percentile(99) == 0
+        assert histogram_percentile([0, 0], 50) == 0
+
+    def test_monotone_in_percent(self):
+        stats = StatsCollector()
+        for latency in (4, 12, 40, 90, 200, 600):
+            stats.count_read_latency(latency)
+        values = [stats.latency_percentile(p) for p in (10, 50, 90, 99)]
+        assert values == sorted(values)
+
+    def test_percentiles_land_in_as_dict(self):
+        stats = StatsCollector()
+        stats.count_read_latency(20)
+        data = stats.as_dict()
+        for percent in LATENCY_PERCENTILES:
+            assert f"read_latency_p{percent}" in data
+        assert data["read_latency_p50"] >= 20
 
 
 class TestDerived:

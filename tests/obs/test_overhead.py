@@ -12,15 +12,17 @@ import pytest
 from repro.config import baseline_nvm, fgnvm
 from repro.obs import ListSink, MetricRegistry, make_probe
 from repro.obs.events import NULL_PROBE
+from repro.obs.perf import NULL_PROFILER, PhaseTimer
 from repro.sim.simulator import simulate
 from repro.workloads import generate_trace, get_profile
 
 
-def run(config_builder, probe=None, benchmark="mcf", requests=700):
+def run(config_builder, probe=None, benchmark="mcf", requests=700,
+        profiler=None):
     cfg = config_builder()
     cfg.org.rows_per_bank = 256
     trace = generate_trace(get_profile(benchmark), requests)
-    return simulate(cfg, trace, probe=probe)
+    return simulate(cfg, trace, probe=probe, profiler=profiler)
 
 
 @pytest.mark.parametrize("builder", [
@@ -38,6 +40,23 @@ class TestNoBehaviourChange:
         assert plain.summary() == probed.summary()
         assert plain.cycles == probed.cycles
         assert plain.ipc == probed.ipc
+
+    def test_no_profiler_equals_null_profiler(self, builder):
+        plain = run(builder, profiler=None)
+        nulled = run(builder, profiler=NULL_PROFILER)
+        assert plain.summary() == nulled.summary()
+
+    def test_enabled_profiler_is_bit_identical(self, builder):
+        """Profiling is pure observation: an *enabled* timer may slow
+        the simulator down but can never change simulated results."""
+        plain = run(builder, profiler=None)
+        timer = PhaseTimer()
+        profiled = run(builder, profiler=timer)
+        assert plain.summary() == profiled.summary()
+        assert plain.cycles == profiled.cycles
+        # ... and the timer actually saw the run.
+        assert timer.total_s > 0
+        assert "controller.tick" in timer.stats
 
 
 class TestNoAllocationWhenDisabled:
@@ -61,3 +80,13 @@ class TestNoAllocationWhenDisabled:
         probe.enabled = False
         result = run(lambda: fgnvm(4, 4), probe=probe, requests=200)
         assert result.cycles > 0
+
+    def test_disabled_profiler_never_touches_the_clock(self):
+        class ExplodingClock:
+            def __call__(self):
+                raise AssertionError("clock read while disabled")
+
+        timer = PhaseTimer(enabled=False, clock=ExplodingClock())
+        result = run(lambda: fgnvm(4, 4), profiler=timer, requests=200)
+        assert result.cycles > 0
+        assert timer.stats == {}

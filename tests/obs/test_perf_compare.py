@@ -1,0 +1,148 @@
+"""The perf regression gate: noise rules, host gating, and verdicts."""
+
+import pytest
+
+from repro.obs.perf import PerfEntry, PerfLedger, compare_ledgers
+from repro.obs.perf.compare import (
+    DEFAULT_REL_TOL,
+    SINGLE_SAMPLE_SLACK,
+    STATUS_IMPROVED,
+    STATUS_OK,
+    STATUS_REGRESSION,
+    STATUS_WARNING,
+)
+
+
+def ledger(samples_by_name, code_version="v1", fingerprint="aaaa0000bbbb"):
+    led = PerfLedger(code_version=code_version)
+    led.host = {"fingerprint": fingerprint}
+    for name, samples in samples_by_name.items():
+        config, benchmark, requests = name.split(":")
+        led.add_entry(PerfEntry(
+            name=name, config=config, benchmark=benchmark,
+            requests=int(requests), samples_wall_s=list(samples),
+            sim_cycles=100_000,
+        ))
+    return led
+
+
+POINT = "fgnvm-8x2:mcf:600"
+
+
+class TestVerdicts:
+    def test_self_compare_passes(self):
+        led = ledger({POINT: [1.0, 1.0, 1.0]})
+        report = compare_ledgers(led, led)
+        assert report.ok
+        assert report.deltas[0].status == STATUS_OK
+        assert "PASS" in report.render()
+
+    def test_slowdown_beyond_tolerance_fails(self):
+        old = ledger({POINT: [1.0, 1.0, 1.0]})
+        new = ledger({POINT: [3.0, 3.0, 3.0]})  # 3x slower
+        report = compare_ledgers(old, new)
+        assert not report.ok
+        assert report.deltas[0].status == STATUS_REGRESSION
+        assert "FAIL" in report.render()
+
+    def test_speedup_reported_as_improvement(self):
+        old = ledger({POINT: [3.0, 3.0, 3.0]})
+        new = ledger({POINT: [1.0, 1.0, 1.0]})
+        report = compare_ledgers(old, new)
+        assert report.ok
+        assert report.deltas[0].status == STATUS_IMPROVED
+
+    def test_small_jitter_within_tolerance_is_ok(self):
+        old = ledger({POINT: [1.0, 1.0, 1.0]})
+        new = ledger({POINT: [1.1, 1.1, 1.1]})  # 10% < 20% tol
+        report = compare_ledgers(old, new)
+        assert report.ok
+        assert report.deltas[0].status == STATUS_OK
+
+
+class TestNoiseRules:
+    def test_median_shields_one_noisy_sample(self):
+        old = ledger({POINT: [1.0, 1.0, 1.0]})
+        new = ledger({POINT: [1.0, 50.0, 1.0]})  # one pathological repeat
+        assert compare_ledgers(old, new).ok
+
+    def test_single_sample_widens_tolerance(self):
+        # 1.3x slowdown: fails at 20% with samples, passes at the
+        # widened 40% when either side has only one sample.
+        old = ledger({POINT: [1.0]})
+        new = ledger({POINT: [1.3]})
+        report = compare_ledgers(old, new)
+        assert report.ok
+        assert "single-sample" in report.deltas[0].note
+        sampled = compare_ledgers(
+            ledger({POINT: [1.0, 1.0, 1.0]}),
+            ledger({POINT: [1.3, 1.3, 1.3]}),
+        )
+        assert not sampled.ok
+
+    def test_single_sample_slack_is_bounded(self):
+        # Even widened tolerance catches a big regression.
+        old = ledger({POINT: [1.0]})
+        new = ledger({POINT: [3.0]})
+        assert not compare_ledgers(old, new).ok
+        assert SINGLE_SAMPLE_SLACK * DEFAULT_REL_TOL < 1.0
+
+
+class TestHostGating:
+    def test_host_mismatch_downgrades_regression_to_warning(self):
+        old = ledger({POINT: [1.0, 1.0, 1.0]}, fingerprint="aaaa0000bbbb")
+        new = ledger({POINT: [3.0, 3.0, 3.0]}, fingerprint="cccc1111dddd")
+        report = compare_ledgers(old, new)
+        assert report.ok
+        assert not report.hosts_match
+        assert report.deltas[0].status == STATUS_WARNING
+        assert any("fingerprints differ" in w for w in report.warnings)
+
+    def test_empty_fingerprint_never_matches(self):
+        old = ledger({POINT: [1.0]}, fingerprint="")
+        new = ledger({POINT: [1.0]}, fingerprint="")
+        assert not compare_ledgers(old, new).hosts_match
+
+
+class TestEdgeCases:
+    def test_empty_baseline_warns_but_passes(self):
+        report = compare_ledgers(ledger({}), ledger({POINT: [1.0]}))
+        assert report.ok
+        assert any("no entries" in w for w in report.warnings)
+        assert any("no baseline" in w for w in report.warnings)
+
+    def test_entry_only_in_baseline_warns(self):
+        report = compare_ledgers(ledger({POINT: [1.0]}), ledger({}))
+        assert report.ok
+        assert any("baseline only" in w for w in report.warnings)
+
+    def test_code_version_mismatch_warns(self):
+        report = compare_ledgers(
+            ledger({POINT: [1.0] * 3}, code_version="v1"),
+            ledger({POINT: [1.0] * 3, }, code_version="v2"),
+        )
+        assert report.ok
+        assert any("code versions differ" in w for w in report.warnings)
+
+    def test_zero_rate_side_is_warning_not_crash(self):
+        old = ledger({POINT: [1.0] * 3})
+        new = ledger({POINT: []})  # no samples -> zero rate
+        report = compare_ledgers(old, new)
+        assert report.ok
+        assert report.deltas[0].status == STATUS_WARNING
+
+    def test_wall_s_metric_regresses_upward(self):
+        old = ledger({POINT: [1.0, 1.0, 1.0]})
+        new = ledger({POINT: [3.0, 3.0, 3.0]})
+        slower = compare_ledgers(old, new, metric="wall_s")
+        assert not slower.ok
+        faster = compare_ledgers(new, old, metric="wall_s")
+        assert faster.ok
+        assert faster.deltas[0].status == STATUS_IMPROVED
+
+    def test_bad_inputs_raise(self):
+        led = ledger({})
+        with pytest.raises(ValueError, match="rel_tol"):
+            compare_ledgers(led, led, rel_tol=-0.1)
+        with pytest.raises(ValueError, match="metric"):
+            compare_ledgers(led, led, metric="bogus")

@@ -1,0 +1,137 @@
+"""Perf ledger: schema round-trip, provenance, and manifest folding."""
+
+import json
+
+import pytest
+
+from repro.obs.manifest import JobRecord, RunManifest
+from repro.obs.perf import (
+    PerfEntry,
+    PerfLedger,
+    PerfLedgerError,
+    fold_manifest,
+    read_ledger,
+)
+from repro.obs.perf.ledger import (
+    PERF_SCHEMA,
+    host_fingerprint,
+    peak_rss_kb,
+)
+
+
+def make_entry(name="fgnvm-8x2:mcf:600", samples=(0.5, 0.6, 0.4)):
+    return PerfEntry(
+        name=name, config="fgnvm-8x2", benchmark="mcf", requests=600,
+        samples_wall_s=list(samples), sim_cycles=50_000,
+        instructions=120_000,
+    )
+
+
+class TestEntryMath:
+    def test_rates_use_median_sample(self):
+        entry = make_entry(samples=(0.5, 10.0, 0.5))  # one noisy repeat
+        assert entry.wall_s == pytest.approx(0.5)
+        assert entry.cycles_per_s == pytest.approx(100_000)
+        assert entry.requests_per_s == pytest.approx(1200)
+
+    def test_no_samples_means_zero_rates(self):
+        entry = make_entry(samples=())
+        assert entry.wall_s == 0.0
+        assert entry.cycles_per_s == 0.0
+        assert entry.requests_per_s == 0.0
+
+
+class TestRoundTrip:
+    def test_write_then_read_preserves_everything(self, tmp_path):
+        ledger = PerfLedger(code_version="test-1")
+        ledger.add_entry(make_entry())
+        ledger.artifacts["figure4"] = "ab" * 32
+        path = ledger.write(tmp_path / "BENCH_PERF.json")
+        loaded = read_ledger(path)
+        assert loaded.schema == PERF_SCHEMA
+        assert loaded.code_version == "test-1"
+        assert loaded.fingerprint == ledger.fingerprint
+        assert loaded.artifacts == {"figure4": "ab" * 32}
+        entry = loaded.entry("fgnvm-8x2:mcf:600")
+        assert entry is not None
+        assert entry.sim_cycles == 50_000
+        assert entry.samples_wall_s == pytest.approx([0.5, 0.6, 0.4])
+        assert entry.cycles_per_s == pytest.approx(100_000)
+
+    def test_write_records_peak_rss(self, tmp_path):
+        ledger = PerfLedger(code_version="test-1")
+        ledger.write(tmp_path / "l.json")
+        # Linux always has the resource module; a real process has RSS.
+        assert ledger.peak_rss_kb == peak_rss_kb()
+        assert ledger.peak_rss_kb > 0
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(PerfLedgerError, match="not found"):
+            read_ledger(tmp_path / "absent.json")
+
+    def test_malformed_json_raises(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(PerfLedgerError, match="unreadable"):
+            read_ledger(path)
+
+    def test_wrong_schema_raises(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text(
+            json.dumps({"schema": "some-other-v9"}), encoding="utf-8"
+        )
+        with pytest.raises(PerfLedgerError, match="schema"):
+            read_ledger(path)
+
+    def test_non_object_payload_raises(self, tmp_path):
+        path = tmp_path / "list.json"
+        path.write_text("[1, 2, 3]", encoding="utf-8")
+        with pytest.raises(PerfLedgerError):
+            read_ledger(path)
+
+
+class TestHostFingerprint:
+    def test_stable_within_process(self):
+        assert host_fingerprint() == host_fingerprint()
+        assert len(host_fingerprint()) == 12
+
+    def test_embedded_in_fresh_ledger(self):
+        assert PerfLedger(code_version="x").fingerprint == host_fingerprint()
+
+
+def job(source, config="fgnvm-8x2", benchmark="mcf", wall=0.25, seed=None):
+    return JobRecord(
+        key="k", config=config, config_digest="d", benchmark=benchmark,
+        requests=600, seed=seed, source=source, wall_s=wall,
+        cycles=10_000, instructions=40_000,
+    )
+
+
+class TestFoldManifest:
+    def test_simulated_jobs_become_engine_entries(self):
+        manifest = RunManifest(code_version="test-1", workers=2,
+                               wall_s=1.0, busy_s=1.6)
+        manifest.jobs = [
+            job("simulated", wall=0.2, seed=1),
+            job("simulated", wall=0.3, seed=2),   # same point -> 2 samples
+            job("memory"),                         # cache hits are not timings
+            job("disk"),
+        ]
+        ledger = fold_manifest(PerfLedger(code_version="test-1"), manifest)
+        assert len(ledger.entries) == 1
+        entry = ledger.entries[0]
+        assert entry.source == "engine"
+        assert entry.samples_wall_s == pytest.approx([0.2, 0.3])
+        assert entry.sim_cycles == 10_000
+        assert ledger.engine["jobs"] == 4
+        assert ledger.engine["jobs_by_source"] == {
+            "disk": 1, "memory": 1, "simulated": 2,
+        }
+        assert ledger.engine["worker_utilization"] == pytest.approx(0.8)
+
+    def test_empty_manifest_folds_cleanly(self):
+        ledger = fold_manifest(
+            PerfLedger(code_version="x"), RunManifest(code_version="x")
+        )
+        assert ledger.entries == []
+        assert ledger.engine["jobs"] == 0

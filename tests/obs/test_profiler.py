@@ -1,0 +1,136 @@
+"""Phase profiler: attribution, nesting, and the disabled fast path."""
+
+import pytest
+
+from repro.obs.perf import (
+    NULL_PROFILER,
+    PhaseTimer,
+    make_profiler,
+    phase_table,
+)
+from repro.obs.perf.profiler import (
+    PH_BANK_ISSUE,
+    PH_CPU_TICK,
+    PH_CTRL_SCHED,
+    PH_CTRL_TICK,
+    PH_RUN,
+    PHASE_NAMES,
+)
+
+
+def fake_clock(ticks):
+    """A deterministic clock yielding successive values from ``ticks``."""
+    it = iter(ticks)
+    return lambda: next(it)
+
+
+class TestAccounting:
+    def test_flat_phase_accumulates_calls_and_time(self):
+        timer = PhaseTimer(clock=fake_clock([0.0, 1.0, 2.0, 2.5]))
+        timer.enter(PH_CPU_TICK)
+        timer.exit(PH_CPU_TICK)
+        timer.enter(PH_CPU_TICK)
+        timer.exit(PH_CPU_TICK)
+        stat = timer.stats[PH_CPU_TICK]
+        assert stat.calls == 2
+        assert stat.cum_s == pytest.approx(1.5)
+        assert stat.self_s == pytest.approx(1.5)
+
+    def test_nesting_splits_self_from_cumulative(self):
+        # run: 0..10, sched nested inside: 2..7 -> run self = 5.
+        timer = PhaseTimer(clock=fake_clock([0.0, 2.0, 7.0, 10.0]))
+        timer.enter(PH_RUN)
+        timer.enter(PH_CTRL_SCHED)
+        timer.exit(PH_CTRL_SCHED)
+        timer.exit(PH_RUN)
+        assert timer.stats[PH_RUN].cum_s == pytest.approx(10.0)
+        assert timer.stats[PH_RUN].self_s == pytest.approx(5.0)
+        assert timer.stats[PH_CTRL_SCHED].self_s == pytest.approx(5.0)
+        assert timer.total_s == pytest.approx(10.0)
+
+    def test_self_times_sum_to_outermost_cumulative(self):
+        timer = PhaseTimer(
+            clock=fake_clock([0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0])
+        )
+        timer.enter(PH_RUN)
+        timer.enter(PH_CTRL_TICK)
+        timer.enter(PH_BANK_ISSUE)
+        timer.exit(PH_BANK_ISSUE)
+        timer.exit(PH_CTRL_TICK)
+        timer.enter(PH_CPU_TICK)
+        timer.exit(PH_CPU_TICK)
+        timer.exit(PH_RUN)
+        total_self = sum(s.self_s for s in timer.stats.values())
+        assert total_self == pytest.approx(timer.stats[PH_RUN].cum_s)
+
+    def test_exit_mismatch_raises(self):
+        timer = PhaseTimer(clock=fake_clock([0.0, 1.0]))
+        timer.enter(PH_RUN)
+        with pytest.raises(ValueError, match="mismatch"):
+            timer.exit(PH_CPU_TICK)
+
+    def test_exit_with_empty_stack_raises(self):
+        with pytest.raises(ValueError):
+            PhaseTimer().exit(PH_RUN)
+
+    def test_context_manager_balances(self):
+        timer = PhaseTimer(clock=fake_clock([0.0, 3.0]))
+        with timer.phase(PH_CPU_TICK):
+            pass
+        assert timer.stats[PH_CPU_TICK].calls == 1
+        assert timer.stats[PH_CPU_TICK].cum_s == pytest.approx(3.0)
+
+    def test_merge_adds_counts_and_times(self):
+        a = PhaseTimer(clock=fake_clock([0.0, 1.0]))
+        a.enter(PH_CPU_TICK)
+        a.exit(PH_CPU_TICK)
+        b = PhaseTimer(clock=fake_clock([0.0, 2.0]))
+        b.enter(PH_CPU_TICK)
+        b.exit(PH_CPU_TICK)
+        a.merge(b)
+        assert a.stats[PH_CPU_TICK].calls == 2
+        assert a.stats[PH_CPU_TICK].cum_s == pytest.approx(3.0)
+
+
+class TestDisabledPath:
+    def test_null_profiler_is_disabled_singleton(self):
+        assert NULL_PROFILER.enabled is False
+        assert make_profiler().enabled is True
+
+    def test_disabled_components_share_null_profiler(self):
+        from repro.config import baseline_nvm
+        from repro.memsys.controller import MemoryController
+        from repro.memsys.stats import StatsCollector
+
+        cfg = baseline_nvm()
+        cfg.org.rows_per_bank = 256
+        ctrl = MemoryController(cfg, StatsCollector())
+        assert ctrl.profiler is NULL_PROFILER
+        assert all(b.profiler is NULL_PROFILER for b in ctrl.banks)
+
+
+class TestRendering:
+    def test_as_dict_sorted_by_self_time(self):
+        timer = PhaseTimer(clock=fake_clock([0.0, 1.0, 2.0, 10.0]))
+        timer.enter(PH_CPU_TICK)
+        timer.exit(PH_CPU_TICK)
+        timer.enter(PH_CTRL_SCHED)
+        timer.exit(PH_CTRL_SCHED)
+        data = timer.as_dict()
+        names = list(data)
+        assert names[0] == PH_CTRL_SCHED  # 8s self beats 1s
+        assert data[PH_CTRL_SCHED]["calls"] == 1
+
+    def test_phase_table_lists_phases_and_total(self):
+        timer = PhaseTimer(clock=fake_clock([0.0, 2.0]))
+        timer.enter(PH_CTRL_SCHED)
+        timer.exit(PH_CTRL_SCHED)
+        table = phase_table(timer)
+        assert PH_CTRL_SCHED in table
+        assert "total" in table
+
+    def test_empty_timer_renders(self):
+        assert "no phases recorded" in phase_table(PhaseTimer())
+
+    def test_phase_name_constants_are_unique(self):
+        assert len(PHASE_NAMES) == len(set(PHASE_NAMES))
