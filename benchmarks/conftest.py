@@ -31,7 +31,7 @@ from pathlib import Path
 
 import pytest
 
-from repro.obs.perf import LEDGER_BASENAME, PerfLedger, fold_manifest
+from repro.obs.perf import LEDGER_BASENAME, PerfEntry, PerfLedger, fold_manifest
 from repro.sim.parallel import ParallelExperimentEngine
 
 RESULTS_DIR = Path(__file__).parent / "results"
@@ -39,6 +39,26 @@ RESULTS_DIR = Path(__file__).parent / "results"
 #: Session-wide artifact digest index folded into the perf ledger: the
 #: ledger-backed record of what :func:`publish` produced this session.
 _ARTIFACT_DIGESTS: "dict[str, str]" = {}
+
+#: Perf entries recorded outside the experiment engine (the hot-path
+#: microbenchmarks time controller internals directly, so they never
+#: appear in the run manifest); appended to the session ledger.
+_EXTRA_PERF_ENTRIES: "list[PerfEntry]" = []
+
+
+def record_perf_entry(entry: PerfEntry) -> PerfEntry:
+    """Register a manually timed entry for the session's perf ledger.
+
+    Entries with a name already recorded this session are merged by
+    extending the sample list, so parametrized benches accumulate
+    repeats instead of duplicating rows.
+    """
+    for existing in _EXTRA_PERF_ENTRIES:
+        if existing.name == entry.name:
+            existing.samples_wall_s.extend(entry.samples_wall_s)
+            return existing
+    _EXTRA_PERF_ENTRIES.append(entry)
+    return entry
 
 
 def bench_requests() -> int:
@@ -86,6 +106,8 @@ def _write_session_telemetry(engine: ParallelExperimentEngine) -> None:
     ledger = fold_manifest(
         PerfLedger(code_version=engine.code_version), manifest
     )
+    for entry in _EXTRA_PERF_ENTRIES:
+        ledger.add_entry(entry)
     ledger.artifacts = dict(_ARTIFACT_DIGESTS)
     ledger_path = ledger.write(out_dir / LEDGER_BASENAME)
     print(f"[bench] perf ledger: {ledger_path}")

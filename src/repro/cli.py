@@ -41,6 +41,7 @@ from .obs import (
 )
 from .obs.inspect import load_events, summarize_events
 from .obs.perf import (
+    COMPARE_METRICS,
     DEFAULT_REL_TOL,
     PerfEntry,
     PerfLedger,
@@ -787,8 +788,9 @@ def make_parser() -> argparse.ArgumentParser:
              f"{DEFAULT_REL_TOL:.0%}); single-sample entries get 2x",
     )
     pcmp_p.add_argument(
-        "--metric", default="cycles_per_s",
-        choices=("cycles_per_s", "requests_per_s", "wall_s"),
+        "--metric", default="cycles_per_s", choices=COMPARE_METRICS,
+        help="ledger metric to gate on (throughput metrics are "
+             "higher-is-better; wall_s regresses upward)",
     )
 
     gen_p = sub.add_parser("trace-gen", help="write a profile trace")

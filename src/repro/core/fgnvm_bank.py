@@ -142,6 +142,15 @@ class FgNvmBank:
         self.close_page = close_page
         #: Last cycle a column command was accepted (tCCD spacing).
         self._last_column = -(10**9)
+        #: Scheduling memo: (is_write, row, sag, cd) -> (kind, constraint).
+        #: Together with the owning controller's per-bank queue index this
+        #: is the row-hit lookup keyed on (flat_bank, row): every request
+        #: targeting the same tile coordinates shares one cached
+        #: classification and earliest-start constraint.  Both values
+        #: depend only on bank state, and all bank state mutates inside
+        #: :meth:`issue` — which drops the memo — so entries can never go
+        #: stale.
+        self._sched_cache: dict = {}
 
     # -- row-buffer tags -----------------------------------------------------
 
@@ -191,18 +200,23 @@ class FgNvmBank:
           and the wordline stable (``row_ready``),
         * row change (miss) and writes — CD free and SAG exclusively
           free: one wordline per SAG, and a write parks the whole SAG.
+
+        Every constraint above is a property of bank state alone, so
+        ``earliest_start(req, now) == max(now, constraint)`` for every
+        ``now`` — the incremental scheduler relies on this through
+        :meth:`kind_and_constraint`.
         """
-        dec = req.decoded
-        sag, cds = self._coords(dec)
-        start = now
-        column_gate = self._last_column + self.timing.tccd
-        if column_gate > start:
-            start = column_gate
+        constraint = self._constraint(req, self.classify(req))
+        return constraint if constraint > now else now
+
+    def _constraint(self, req: MemRequest, kind: str) -> int:
+        """Now-independent earliest-start bound for ``req``."""
+        sag, cds = self._coords(req.decoded)
+        start = self._last_column + self.timing.tccd
         for cd in cds:
             cd_free = self.grid.cd_free_at(cd)
             if cd_free > start:
                 start = cd_free
-        kind = self.classify(req)
         if kind == SERVICE_ROW_HIT:
             return start
         if kind == SERVICE_UNDERFETCH:
@@ -216,6 +230,28 @@ class FgNvmBank:
         if sag_free > start:
             start = sag_free
         return start
+
+    def kind_and_constraint(self, req: MemRequest) -> Tuple[str, int]:
+        """Memoized (service kind, earliest-start constraint) for ``req``.
+
+        The fast-path query behind :class:`IncrementalFrfcfs` and the
+        controller's event horizon: ``classify`` and the scheduling
+        constraint are pure functions of bank state, which only mutates
+        inside :meth:`issue` (where the memo is dropped), so repeated
+        queue scans between issues collapse to one dict lookup per
+        distinct (op, row, sag, cd) target.  The uncached
+        :meth:`classify`/:meth:`earliest_start` pair is kept pristine as
+        the reference oracle the differential tests compare against.
+        """
+        dec = req.decoded
+        key = (req.op, dec.row, dec.sag, dec.cd)
+        cached = self._sched_cache.get(key)
+        if cached is not None:
+            return cached
+        kind = self.classify(req)
+        entry = (kind, self._constraint(req, kind))
+        self._sched_cache[key] = entry
+        return entry
 
     # -- issue ---------------------------------------------------------------
 
@@ -241,6 +277,10 @@ class FgNvmBank:
                 self.buffer_tag[cd] = None
                 if self.per_sag_buffers:
                     self._sag_buffer[sag][cd] = None
+        # Issuing is the only place bank state changes; the scheduling
+        # memo is rebuilt lazily on the next query.
+        if self._sched_cache:
+            self._sched_cache.clear()
         return result
 
     def _issue(self, req: MemRequest, now: int) -> IssueResult:

@@ -83,6 +83,11 @@ class AddressMapper:
         self._cd_span = org.cd_span
         self._cd_interleaved = org.cd_interleaved
         self._sag_interleaved = org.sag_interleaved
+        #: Decode memo keyed on the raw (pre-wrap) address.  Trace
+        #: working sets revisit lines heavily, and the trace path decodes
+        #: each address for admission, enqueue, and stall polling —
+        #: bounded by the number of distinct addresses in one run.
+        self._decode_cache: "dict[int, DecodedAddress]" = {}
 
     @property
     def capacity_bytes(self) -> int:
@@ -95,8 +100,12 @@ class AddressMapper:
         Addresses beyond the configured capacity wrap (synthetic traces may
         roam a larger nominal footprint than the simulated device).
         """
+        cached = self._decode_cache.get(address)
+        if cached is not None:
+            return cached
         if address < 0:
             raise AddressError(f"negative address: {address}")
+        raw = address
         address &= self.capacity_bytes - 1
         row = self._row.extract(address)
         col = self._col.extract(address)
@@ -126,7 +135,7 @@ class AddressMapper:
                 + sag * self.org.column_divisions
                 + cd
             )
-        return DecodedAddress(
+        decoded = DecodedAddress(
             channel=self._channel.extract(address),
             rank=rank,
             bank=bank,
@@ -136,6 +145,8 @@ class AddressMapper:
             cd=cd,
             flat_bank=flat_bank,
         )
+        self._decode_cache[raw] = decoded
+        return decoded
 
     def encode(
         self,

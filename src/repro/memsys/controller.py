@@ -47,6 +47,9 @@ from .request import MemRequest, OpType
 from .scheduler import Candidate, make_scheduler
 from .stats import StatsCollector
 
+#: Quiet-cycle sentinel: "no issuable work until something enqueues".
+_FAR_FUTURE = 1 << 62
+
 
 class MemoryController:
     """Cycle-level controller for one channel."""
@@ -85,11 +88,27 @@ class MemoryController:
         self.data_bus = DataBus(
             config.controller.data_bus_width, self.timing.tburst
         )
-        #: (completion_cycle, req_id, request) min-heap of in-flight reads.
+        #: Min-heap of future controller events keyed by cycle: data-bus
+        #: transfer completions for reads and forwarded hits, write-pulse
+        #: ends for writes — everything that leaves the queues but is not
+        #: yet done.
         self._completions: List[Tuple[int, int, MemRequest]] = []
         self._flush_mode = False
         self._was_draining = False
         self.forwarded_reads = 0
+        self._write_cap = config.controller.max_writes_per_bank
+        #: First cycle the issue phase could find work again.  Installed
+        #: after a pass that issued nothing (so queue occupancy — hence
+        #: the drain phase and fall-through policy — cannot have
+        #: changed), and reset by anything that can create issuable
+        #: work: enqueue, issue, flush.  Never installed when the
+        #: write-per-bank throttle is active, because that constraint
+        #: relaxes with time alone.
+        self._quiet_until = 0
+        #: Cached min earliest-start constraint over both queues (the
+        #: O(pending) part of the event horizon), rebuilt lazily.
+        self._min_constraint: Optional[int] = None
+        self._minc_dirty = True
 
     # -- admission ----------------------------------------------------------
 
@@ -170,6 +189,19 @@ class MemoryController:
             self.read_queue.push(req, now)
         else:
             self.write_queue.push(req, now)
+        self._quiet_until = 0
+        self._minc_dirty = True
+
+    @property
+    def _incremental(self) -> bool:
+        """Fast paths key off the live scheduler (tests swap it).
+
+        Only the incremental policy carries the scan hooks the fast
+        paths need; any other policy — the reference oracle forced via
+        ``REPRO_SCHEDULER=reference``, FCFS, or a test double — keeps
+        the seed's exhaustive scans end to end.
+        """
+        return getattr(self.scheduler, "incremental", False)
 
     # -- per-cycle operation --------------------------------------------------
 
@@ -209,13 +241,43 @@ class MemoryController:
                     EV_DRAIN, now, op="W", channel=self.channel,
                     value=1 if draining else 0,
                 ))
+        if now < self._quiet_until:
+            # A previous pass proved no candidate can become issuable
+            # before this cycle, and nothing has changed since.
+            return
+        if not self._incremental:
+            for _ in range(self.config.controller.issue_width):
+                candidate = self._next_candidate(now, draining)
+                if candidate is None:
+                    break
+                if not self.command_bus.acquire(now):
+                    break
+                self._issue(candidate, now)
+            return
+        issued = False
+        starved = False
+        blocked_min: Optional[int] = None
         for _ in range(self.config.controller.issue_width):
-            candidate = self._next_candidate(now, draining)
+            candidate, blocked_min = self._next_candidate_fast(now, draining)
             if candidate is None:
                 break
             if not self.command_bus.acquire(now):
+                # A candidate exists but the bus refused the slot (only
+                # reachable when tick runs twice in one cycle) — not a
+                # provably quiet state.
+                starved = True
                 break
             self._issue(candidate, now)
+            issued = True
+        if not issued and not starved and self._write_cap is None:
+            # Nothing issued, so queue occupancy (and with it the drain
+            # phase and fall-through policy) is frozen until the next
+            # enqueue/issue/flush — each of which resets the memo.  With
+            # empty queues nothing can wake the issue phase but those
+            # same events, so the memo is effectively "forever".
+            self._quiet_until = (
+                blocked_min if blocked_min is not None else _FAR_FUTURE
+            )
 
     def _next_candidate(self, now: int, draining: bool
                         ) -> Optional[Candidate]:
@@ -235,6 +297,48 @@ class MemoryController:
             return self.scheduler.pick(self._candidates(second, now), now)
         return None
 
+    def _next_candidate_fast(
+        self, now: int, draining: bool
+    ) -> "Tuple[Optional[Candidate], Optional[int]]":
+        """Incremental-scheduler twin of :meth:`_next_candidate`.
+
+        Same phase policy and the same winner, but scanned through the
+        per-bank queue index and the banks' memoized (kind, constraint)
+        lookups; additionally reports the earliest constraint among
+        blocked candidates so quiet cycles can be memoized.
+        """
+        first, second = (
+            (self.write_queue, self.read_queue) if draining
+            else (self.read_queue, self.write_queue)
+        )
+        candidate, blocked = self._pick_fast(first, now)
+        if candidate is not None:
+            return candidate, None
+        if draining or self.config.controller.eager_writes or first.is_empty:
+            candidate, second_blocked = self._pick_fast(second, now)
+            if candidate is not None:
+                return candidate, None
+            if second_blocked is not None and (
+                    blocked is None or second_blocked < blocked):
+                blocked = second_blocked
+        return None, blocked
+
+    def _pick_fast(self, queue: TransactionQueue, now: int
+                   ) -> "Tuple[Optional[Candidate], Optional[int]]":
+        by_bank = queue.by_bank()
+        if not by_bank:
+            return None, None
+        banks = self.banks
+        candidates: List[Candidate] = []
+        cap = self._write_cap if queue is self.write_queue else None
+        for flat_bank, reqs in by_bank.items():
+            bank = banks[flat_bank]
+            if cap is not None and bank.active_writes(now) >= cap:
+                continue
+            for req in reqs:
+                candidates.append((req, bank))
+        return self.scheduler.pick_with_horizon(candidates, now)
+
     def _candidates(self, queue: TransactionQueue, now: int
                      ) -> List[Candidate]:
         if queue is self.write_queue:
@@ -251,6 +355,8 @@ class MemoryController:
 
     def _issue(self, candidate: Candidate, now: int) -> None:
         req, bank = candidate
+        self._quiet_until = 0
+        self._minc_dirty = True
         result = bank.issue(req, now)
         if req.is_read:
             bus_start = self.data_bus.reserve(result.bus_desired_start)
@@ -289,14 +395,52 @@ class MemoryController:
     def begin_flush(self) -> None:
         """Drain every remaining write (end of simulation)."""
         self._flush_mode = True
+        self._quiet_until = 0
 
     def next_event_after(self, now: int) -> Optional[int]:
         """Earliest future cycle at which this controller can make progress.
 
-        Used for event-skipping when the CPU is stalled: the next data
-        completion, or the earliest cycle any queued request becomes
-        issuable.
+        Used for clock skipping: the next event on the completion heap,
+        or the earliest cycle any queued request becomes issuable.  With
+        the incremental scheduler the queue part is a cached minimum
+        over the banks' now-independent earliest-start constraints
+        (``earliest_start(req, now) == max(now, constraint)``, so
+        ``min over requests of max(constraint, now + 1)`` equals
+        ``max(min constraint, now + 1)``); the reference policy keeps
+        the seed's exhaustive per-request scan.
         """
+        if not self._incremental:
+            return self._next_event_after_reference(now)
+        horizon: Optional[int] = None
+        if self._completions:
+            horizon = self._completions[0][0]
+        if self._minc_dirty:
+            self._min_constraint = self._recompute_min_constraint()
+            self._minc_dirty = False
+        min_c = self._min_constraint
+        if min_c is not None:
+            when = min_c if min_c > now + 1 else now + 1
+            if horizon is None or when < horizon:
+                horizon = when
+        if horizon is not None and horizon <= now:
+            raise SimulationError(
+                f"controller event horizon {horizon} not after now={now}"
+            )
+        return horizon
+
+    def _recompute_min_constraint(self) -> Optional[int]:
+        min_c: Optional[int] = None
+        banks = self.banks
+        for queue in (self.read_queue, self.write_queue):
+            for flat_bank, reqs in queue.by_bank().items():
+                bank = banks[flat_bank]
+                for req in reqs:
+                    constraint = bank.kind_and_constraint(req)[1]
+                    if min_c is None or constraint < min_c:
+                        min_c = constraint
+        return min_c
+
+    def _next_event_after_reference(self, now: int) -> Optional[int]:
         horizon: Optional[int] = None
         if self._completions:
             horizon = self._completions[0][0]

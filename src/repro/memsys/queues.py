@@ -17,13 +17,21 @@ from .request import MemRequest
 
 
 class TransactionQueue:
-    """Bounded FIFO-arrival queue with arbitrary-order removal."""
+    """Bounded FIFO-arrival queue with arbitrary-order removal.
+
+    Entries are additionally indexed by target bank (``by_bank``), so
+    the controller's incremental scheduler and write-throttle can walk
+    per-bank groups — one bank lookup and one throttle check per bank —
+    instead of re-pairing every request with its bank model each cycle.
+    Each per-bank list stays in arrival order by construction.
+    """
 
     def __init__(self, capacity: int):
         if capacity < 1:
             raise ValueError("queue capacity must be >= 1")
         self.capacity = capacity
         self._entries: List[MemRequest] = []
+        self._by_bank: Dict[int, List[MemRequest]] = {}
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -50,9 +58,34 @@ class TransactionQueue:
             )
         req.mark_queued(cycle)
         self._entries.append(req)
+        bank = self._bank_key(req)
+        group = self._by_bank.get(bank)
+        if group is None:
+            self._by_bank[bank] = [req]
+        else:
+            group.append(req)
 
     def remove(self, req: MemRequest) -> None:
         self._entries.remove(req)
+        bank = self._bank_key(req)
+        group = self._by_bank[bank]
+        group.remove(req)
+        if not group:
+            del self._by_bank[bank]
+
+    def by_bank(self) -> Dict[int, List[MemRequest]]:
+        """Live per-bank view: flat bank index -> arrival-ordered requests.
+
+        The returned mapping is the queue's own index — callers must not
+        mutate it (and must not push/remove while iterating it).
+        """
+        return self._by_bank
+
+    @staticmethod
+    def _bank_key(req: MemRequest) -> int:
+        # Undecoded requests (unit tests pushing raw MemRequests) group
+        # under a sentinel bank; the controller always decodes first.
+        return req.decoded.flat_bank if req.decoded is not None else -1
 
     def oldest(self) -> Optional[MemRequest]:
         return self._entries[0] if self._entries else None

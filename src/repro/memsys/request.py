@@ -40,7 +40,7 @@ class RequestState(enum.Enum):
     COMPLETED = enum.auto()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DecodedAddress:
     """A physical address decoded against the active organisation.
 
@@ -63,7 +63,7 @@ class DecodedAddress:
 _req_ids = itertools.count()
 
 
-@dataclass
+@dataclass(slots=True)
 class MemRequest:
     """One cache-line memory transaction."""
 

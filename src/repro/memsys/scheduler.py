@@ -6,6 +6,11 @@ Implements the controller policies the paper evaluates:
 * :class:`FrfcfsScheduler` — first-ready FCFS [Rixner et al., ISCA'00]:
   requests that would hit buffered data ("first ready") go first, oldest
   first within each class.  This is Table 2's scheduler.
+* :class:`IncrementalFrfcfs` — the same ordering computed as a single
+  O(n) min-scan over memoized per-bank (kind, constraint) lookups
+  instead of classifying and sorting the whole queue; the default for
+  FRFCFS configurations, with :class:`FrfcfsScheduler` kept as the
+  reference oracle (``REPRO_SCHEDULER=reference`` forces it back on).
 * The paper's **Multi-Issue** augmentation is not a different ordering —
   it is the same FRFCFS ranking applied to multiple command slots per
   cycle, so it is expressed through ``ControllerParams.issue_width``
@@ -18,11 +23,12 @@ policy.
 
 from __future__ import annotations
 
+import os
 from typing import List, Optional, Protocol, Sequence, Tuple
 
 from ..config.params import SchedulerKind
 from ..errors import SchedulerError
-from .request import MemRequest
+from .request import SERVICE_ROW_HIT, SERVICE_WRITE, MemRequest
 
 
 class BankLike(Protocol):
@@ -94,10 +100,92 @@ class FrfcfsScheduler(SchedulingPolicy):
         return issuable
 
 
+class IncrementalFrfcfs(FrfcfsScheduler):
+    """FRFCFS as an incremental min-scan over cached bank lookups.
+
+    Picks the same candidate as ``FrfcfsScheduler.rank(...)[0]`` — the
+    minimum of ``(not is_row_hit, arrival_cycle, req_id)`` over issuable
+    candidates — but in one pass with no sort, no key tuples, and no
+    filtered list.  Per-candidate classification goes through the bank's
+    :meth:`~repro.core.fgnvm_bank.FgNvmBank.kind_and_constraint` memo
+    (updated lazily: banks drop it on issue, so enqueue-only cycles pay
+    one dict lookup per distinct (op, row, sag, cd) target); banks
+    without that API — scriptable test doubles — fall back to the
+    protocol's ``is_row_hit``/``earliest_start`` pair.
+
+    ``rank`` is inherited from the reference implementation: only the
+    single-winner ``pick`` is hot.
+    """
+
+    name = "frfcfs-incremental"
+
+    #: Controllers key their fast paths off this flag.
+    incremental = True
+
+    def pick(self, candidates: Sequence[Candidate], now: int
+             ) -> Optional[Candidate]:
+        return self.pick_with_horizon(candidates, now)[0]
+
+    def pick_with_horizon(self, candidates: Sequence[Candidate], now: int
+                          ) -> "Tuple[Optional[Candidate], Optional[int]]":
+        """(best candidate, earliest constraint among blocked ones).
+
+        The second element is the soonest cycle any *currently blocked*
+        candidate could become issuable — ``None`` when nothing is
+        blocked — which the controller uses to memoize provably quiet
+        cycles.
+        """
+        best: Optional[Candidate] = None
+        best_hit = False
+        best_arrival = 0
+        best_id = 0
+        blocked_min: Optional[int] = None
+        for cand in candidates:
+            req, bank = cand
+            lookup = getattr(bank, "kind_and_constraint", None)
+            if lookup is not None:
+                kind, constraint = lookup(req)
+                hit = kind == SERVICE_ROW_HIT or kind == SERVICE_WRITE
+            else:
+                constraint = bank.earliest_start(req, now)
+                hit = bank.is_row_hit(req)
+            if constraint > now:
+                if blocked_min is None or constraint < blocked_min:
+                    blocked_min = constraint
+                continue
+            if best is None:
+                take = True
+            elif hit != best_hit:
+                take = hit
+            elif req.arrival_cycle != best_arrival:
+                take = req.arrival_cycle < best_arrival
+            else:
+                take = req.req_id < best_id
+            if take:
+                best = cand
+                best_hit = hit
+                best_arrival = req.arrival_cycle
+                best_id = req.req_id
+        return best, blocked_min
+
+
+#: Environment override for the FRFCFS implementation (differential CI
+#: runs): ``incremental`` / ``frfcfs-incremental`` force the fast policy,
+#: ``reference`` / ``frfcfs`` force the oracle.
+SCHEDULER_ENV = "REPRO_SCHEDULER"
+
+
 def make_scheduler(kind: SchedulerKind) -> SchedulingPolicy:
     """Instantiate the policy for a configuration enum value."""
     if kind is SchedulerKind.FCFS:
         return FcfsScheduler()
     if kind in (SchedulerKind.FRFCFS, SchedulerKind.FRFCFS_MULTI_ISSUE):
-        return FrfcfsScheduler()
+        forced = os.environ.get(SCHEDULER_ENV, "").strip().lower()
+        if forced in ("reference", "frfcfs"):
+            return FrfcfsScheduler()
+        if forced not in ("", "incremental", "frfcfs-incremental"):
+            raise SchedulerError(
+                f"unknown {SCHEDULER_ENV} value: {forced!r}"
+            )
+        return IncrementalFrfcfs()
     raise SchedulerError(f"unknown scheduler kind: {kind}")

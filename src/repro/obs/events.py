@@ -49,7 +49,7 @@ EVENT_KINDS = (
 )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Event:
     """One structured simulation event.
 

@@ -12,6 +12,7 @@ Three pieces, one goal — never merge a silent slowdown:
 """
 
 from .compare import (
+    COMPARE_METRICS,
     DEFAULT_REL_TOL,
     STATUS_IMPROVED,
     STATUS_OK,
@@ -53,6 +54,7 @@ from .profiler import (
 )
 
 __all__ = [
+    "COMPARE_METRICS",
     "DEFAULT_REL_TOL",
     "STATUS_IMPROVED",
     "STATUS_OK",

@@ -22,6 +22,16 @@ from typing import List
 
 from .ledger import PerfLedger
 
+#: Metrics the gate can compare.  Every metric except ``wall_s`` is a
+#: throughput (higher is better); ``wall_s`` regresses upward.
+COMPARE_METRICS = (
+    "cycles_per_s",
+    "requests_per_s",
+    "throughput_req_per_s",
+    "sim_cycles_per_wall_s",
+    "wall_s",
+)
+
 #: Default relative tolerance: new must be >= (1 - tol) * old.
 DEFAULT_REL_TOL = 0.20
 
@@ -109,7 +119,7 @@ def compare_ledgers(
     """Entry-by-entry throughput comparison of two ledgers."""
     if rel_tol < 0:
         raise ValueError(f"rel_tol must be >= 0, got {rel_tol}")
-    if metric not in ("cycles_per_s", "requests_per_s", "wall_s"):
+    if metric not in COMPARE_METRICS:
         raise ValueError(f"unknown perf metric {metric!r}")
     hosts_match = bool(
         old.fingerprint and old.fingerprint == new.fingerprint

@@ -52,32 +52,49 @@ class EpochRecorder:
         self.epoch_cycles = epoch_cycles
         self.samples: List[EpochSample] = []
         self._last = (0, 0, 0, 0)  # instructions, reads, writes, hits
-        self._next_boundary = epoch_cycles
+        #: Next unmaterialised boundary; the simulator guards its calls
+        #: on this so disabled-boundary cycles never compute ``pending``.
+        self.next_boundary = epoch_cycles
 
     def observe(self, now: int, pending: int) -> None:
         """Record any epoch boundaries passed by cycle ``now``.
 
-        Event skipping may jump several boundaries at once; every one is
+        Clock skipping may jump several boundaries at once; every one is
         materialised so the series has no holes.
         """
-        while now >= self._next_boundary:
-            stats = self.stats
-            current = (
-                stats.instructions, stats.reads, stats.writes,
-                stats.row_hits,
-            )
-            delta = tuple(c - l for c, l in zip(current, self._last))
-            self.samples.append(EpochSample(
-                epoch=len(self.samples),
-                start_cycle=self._next_boundary - self.epoch_cycles,
-                instructions=delta[0],
-                reads=delta[1],
-                writes=delta[2],
-                row_hits=delta[3],
-                pending=pending,
-            ))
-            self._last = current
-            self._next_boundary += self.epoch_cycles
+        while now >= self.next_boundary:
+            self._materialise(pending)
+
+    def observe_gap(self, now: int, pending: int) -> None:
+        """Record boundaries strictly before ``now`` (skipped cycles).
+
+        Called at the top of a simulated cycle for boundaries the clock
+        jumped over.  Dead cycles change none of the sampled counters,
+        so the pre-tick state *is* the state the unskipped loop would
+        have sampled at each jumped boundary — this is what pins epoch
+        samples equal between the skipping and non-skipping loops.
+        """
+        while self.next_boundary < now:
+            self._materialise(pending)
+
+    def _materialise(self, pending: int) -> None:
+        stats = self.stats
+        current = (
+            stats.instructions, stats.reads, stats.writes,
+            stats.row_hits,
+        )
+        delta = tuple(c - l for c, l in zip(current, self._last))
+        self.samples.append(EpochSample(
+            epoch=len(self.samples),
+            start_cycle=self.next_boundary - self.epoch_cycles,
+            instructions=delta[0],
+            reads=delta[1],
+            writes=delta[2],
+            row_hits=delta[3],
+            pending=pending,
+        ))
+        self._last = current
+        self.next_boundary += self.epoch_cycles
 
 
 def sparkline(values: Sequence[float], levels: str = LEVELS) -> str:

@@ -2,11 +2,15 @@
 
 Couples one :class:`~repro.cpu.trace_cpu.TraceCpu` to one
 :class:`~repro.memsys.controller.MemoryController` on a shared integer
-clock of memory cycles.  The loop is cycle-driven with event skipping:
-whenever the CPU can make no progress until a memory event (and when the
-CPU has finished and only the write drain remains), the clock jumps
-straight to the controller's next event instead of idling cycle by
-cycle — a large win given PCM's 60-cycle write pulses.
+clock of memory cycles.  The loop is event-driven: every iteration the
+clock jumps to ``min(next CPU-visible event, next controller event)``.
+A runnable CPU's next event is the very next cycle, so execution phases
+step cycle-by-cycle; whenever the CPU is blocked on memory (or has
+finished and only the write drain remains), the clock jumps straight to
+the controller's next completion or earliest-issuable cycle — a large
+win given PCM's 60-cycle write pulses.  The set of simulated cycles is
+identical either way, which is what keeps results bit-identical to an
+unskipped run (see docs/performance.md, "Hot-path architecture").
 
 End of run: the trace is fully retired, the controller has drained every
 queued write (a flush is forced once the CPU finishes), and no transfer
@@ -105,7 +109,14 @@ class Simulator:
     def run(self) -> SimResult:
         """Run to completion and return the results."""
         sim = self.config.sim
-        last_progress_marker = self._progress_marker()
+        controller = self.controller
+        cpu = self.cpu
+        stats = self.stats
+        epochs = self._epochs
+        # Progress tracking as plain ints (no per-cycle tuple builds).
+        last_instructions = stats.instructions
+        last_commands = controller.commands_issued()
+        last_pending = controller.pending
         last_progress_cycle = 0
         prof = self.profiler
         profiling = prof.enabled
@@ -113,51 +124,73 @@ class Simulator:
             prof.enter(PH_RUN)
 
         while True:
-            if profiling:
-                prof.enter(PH_CTRL_TICK)
-                completed = self.controller.tick(self.now)
-                prof.exit(PH_CTRL_TICK)
-            else:
-                completed = self.controller.tick(self.now)
-            finished_reads = sum(1 for req in completed if req.is_read)
-            if finished_reads:
-                self.cpu.on_read_completed(finished_reads)
-            if profiling:
-                prof.enter(PH_CPU_TICK)
-                self.cpu.tick(self.now)
-                prof.exit(PH_CPU_TICK)
-            else:
-                self.cpu.tick(self.now)
-            if self._epochs is not None:
+            if epochs is not None and epochs.next_boundary < self.now:
+                # Epoch boundaries the clock jumped over: materialise
+                # them *before* this cycle's tick, with the counters the
+                # unskipped loop would have had at each boundary (dead
+                # cycles change none of the sampled counters).
                 if profiling:
                     prof.enter(PH_STATS)
-                    self._epochs.observe(self.now, self.controller.pending)
+                    epochs.observe_gap(self.now, controller.pending)
                     prof.exit(PH_STATS)
                 else:
-                    self._epochs.observe(self.now, self.controller.pending)
+                    epochs.observe_gap(self.now, controller.pending)
+            if profiling:
+                prof.enter(PH_CTRL_TICK)
+                completed = controller.tick(self.now)
+                prof.exit(PH_CTRL_TICK)
+            else:
+                completed = controller.tick(self.now)
+            finished_reads = 0
+            for req in completed:
+                if req.is_read:
+                    finished_reads += 1
+            if finished_reads:
+                cpu.on_read_completed(finished_reads)
+            if profiling:
+                prof.enter(PH_CPU_TICK)
+                cpu.tick(self.now)
+                prof.exit(PH_CPU_TICK)
+            else:
+                cpu.tick(self.now)
+            if epochs is not None and self.now >= epochs.next_boundary:
+                # A boundary landing on a simulated cycle samples after
+                # that cycle's tick, exactly like the unskipped loop.
+                if profiling:
+                    prof.enter(PH_STATS)
+                    epochs.observe(self.now, controller.pending)
+                    prof.exit(PH_STATS)
+                else:
+                    epochs.observe(self.now, controller.pending)
             if (self._warmup_left
-                    and self.stats.requests >= self._warmup_left):
+                    and stats.requests >= self._warmup_left):
                 # Warm-up complete: statistics restart here.
-                self.stats.reset()
+                stats.reset()
                 self._warmup_left = 0
                 self._warmup_cycle = self.now
 
-            if self.cpu.done():
+            if cpu.done():
                 if not self._flush_started:
-                    self.controller.begin_flush()
+                    controller.begin_flush()
                     self._flush_started = True
-                if not self.controller.busy():
+                if not controller.busy():
                     break
 
-            marker = self._progress_marker()
-            if marker != last_progress_marker:
-                last_progress_marker = marker
+            instructions = stats.instructions
+            commands = controller.commands_issued()
+            pending = controller.pending
+            if (instructions != last_instructions
+                    or commands != last_commands
+                    or pending != last_pending):
+                last_instructions = instructions
+                last_commands = commands
+                last_pending = pending
                 last_progress_cycle = self.now
             elif self.now - last_progress_cycle > sim.deadlock_cycles:
                 raise SimulationError(
                     f"no progress for {sim.deadlock_cycles} cycles at "
                     f"cycle {self.now} (config {self.config.name}); "
-                    f"pending={self.controller.pending}"
+                    f"pending={controller.pending}"
                 )
 
             if profiling:
@@ -199,24 +232,25 @@ class Simulator:
     # -- clock advance ------------------------------------------------------
 
     def _next_cycle(self) -> int:
-        """Next cycle to simulate, skipping dead time when possible."""
+        """Next cycle to simulate: the event rule, applied every iteration.
+
+        The clock jumps to ``min(next CPU-visible event, next controller
+        event)``.  Whenever the CPU can make progress its next visible
+        event is simply ``now + 1``, which bounds the min from below —
+        so the controller horizon query is short-circuited and the clock
+        steps by one.  When the CPU is blocked on memory (or has
+        finished), the CPU term drops out and the clock jumps straight
+        to the controller's next completion or earliest-issuable cycle.
+        """
         naive = self.now + 1
-        can_skip = self.cpu.done() or self.cpu.fully_stalled()
-        if not can_skip:
-            return naive
+        if not (self.cpu.done() or self.cpu.fully_stalled()):
+            return naive  # next CPU event is the very next cycle
         horizon = self.controller.next_event_after(self.now)
         if horizon is None:
-            # CPU stalled with no memory event: only legal when the CPU
+            # CPU blocked with no memory event: only legal when the CPU
             # is done and the controller is empty (loop exits first).
             return naive
-        return max(naive, horizon)
-
-    def _progress_marker(self) -> tuple:
-        return (
-            self.stats.instructions,
-            self.controller.commands_issued(),
-            self.controller.pending,
-        )
+        return horizon if horizon > naive else naive
 
 
 def simulate(config: SystemConfig, trace: Iterable[TraceRecord],

@@ -38,6 +38,12 @@ class MemorySystem:
                              profiler=profiler)
             for index in range(config.org.channels)
         ]
+        #: Single-channel fast path: the paper's Table-2 machine has one
+        #: channel, so the facade forwards without routing, list builds,
+        #: or even an address decode for capacity polls.
+        self._single: "MemoryController | None" = (
+            self.controllers[0] if len(self.controllers) == 1 else None
+        )
 
     # -- admission ----------------------------------------------------------
 
@@ -47,11 +53,15 @@ class MemorySystem:
         A refusal counts as a queue-full event; capacity polls should
         use :meth:`has_space` instead.
         """
+        if self._single is not None:
+            return self._single.can_accept(op, address, now)
         channel = self.mapper.decode(address).channel
         return self.controllers[channel].can_accept(op, address, now)
 
     def has_space(self, op: OpType, address: int = 0) -> bool:
         """Side-effect-free queue-space check (event skipping, polls)."""
+        if self._single is not None:
+            return self._single.has_space(op, address)
         channel = self.mapper.decode(address).channel
         return self.controllers[channel].has_space(op, address)
 
@@ -63,6 +73,8 @@ class MemorySystem:
     # -- per-cycle operation ---------------------------------------------------
 
     def tick(self, now: int) -> List[MemRequest]:
+        if self._single is not None:
+            return self._single.tick(now)
         completed: List[MemRequest] = []
         for controller in self.controllers:
             completed.extend(controller.tick(now))
@@ -72,9 +84,13 @@ class MemorySystem:
 
     @property
     def pending(self) -> int:
+        if self._single is not None:
+            return self._single.pending
         return sum(c.pending for c in self.controllers)
 
     def busy(self) -> bool:
+        if self._single is not None:
+            return self._single.busy()
         return any(c.busy() for c in self.controllers)
 
     def begin_flush(self) -> None:
@@ -82,6 +98,8 @@ class MemorySystem:
             controller.begin_flush()
 
     def next_event_after(self, now: int) -> Optional[int]:
+        if self._single is not None:
+            return self._single.next_event_after(now)
         horizons = [
             horizon
             for horizon in (
@@ -93,4 +111,6 @@ class MemorySystem:
 
     def commands_issued(self) -> int:
         """Total commands across channels (progress marker)."""
+        if self._single is not None:
+            return self._single.command_bus.commands_issued
         return sum(c.command_bus.commands_issued for c in self.controllers)

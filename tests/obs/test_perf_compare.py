@@ -140,6 +140,19 @@ class TestEdgeCases:
         assert faster.ok
         assert faster.deltas[0].status == STATUS_IMPROVED
 
+    @pytest.mark.parametrize(
+        "metric", ("throughput_req_per_s", "sim_cycles_per_wall_s"),
+    )
+    def test_throughput_metrics_are_higher_is_better(self, metric):
+        old = ledger({POINT: [1.0, 1.0, 1.0]})
+        new = ledger({POINT: [3.0, 3.0, 3.0]})  # 3x slower -> lower rate
+        slower = compare_ledgers(old, new, metric=metric)
+        assert not slower.ok
+        assert slower.deltas[0].status == STATUS_REGRESSION
+        faster = compare_ledgers(new, old, metric=metric)
+        assert faster.ok
+        assert faster.deltas[0].status == STATUS_IMPROVED
+
     def test_bad_inputs_raise(self):
         led = ledger({})
         with pytest.raises(ValueError, match="rel_tol"):

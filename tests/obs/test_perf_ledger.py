@@ -40,6 +40,14 @@ class TestEntryMath:
         assert entry.cycles_per_s == 0.0
         assert entry.requests_per_s == 0.0
 
+    def test_throughput_fields_track_the_median_rates(self):
+        entry = make_entry(samples=(0.5, 10.0, 0.5))
+        assert entry.throughput_req_per_s == pytest.approx(1200)
+        assert entry.sim_cycles_per_wall_s == pytest.approx(100_000)
+        data = entry.as_dict()
+        assert data["throughput_req_per_s"] == pytest.approx(1200)
+        assert data["sim_cycles_per_wall_s"] == pytest.approx(100_000)
+
 
 class TestRoundTrip:
     def test_write_then_read_preserves_everything(self, tmp_path):

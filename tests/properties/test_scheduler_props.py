@@ -1,0 +1,213 @@
+"""Property tests: IncrementalFrfcfs is observationally FRFCFS.
+
+The event-driven controller replaces FrfcfsScheduler's filter+sort with
+:class:`~repro.memsys.scheduler.IncrementalFrfcfs` — a single min-scan
+over memoized per-bank (kind, constraint) lookups.  These properties pin
+the two implementations against each other:
+
+* on randomized scripted candidate sets (arrival ties broken by req_id,
+  row-hit flips, blocked candidates mixed in), through both the
+  ``kind_and_constraint`` fast path and the protocol fallback;
+* on a live :class:`~repro.core.fgnvm_bank.FgNvmBank`, where the memo is
+  populated and invalidated across real issues; and
+* end-to-end: the figure sweeps' configurations produce cycle-identical
+  run summaries whether the controller is built with the incremental
+  policy (the default) or ``REPRO_SCHEDULER=reference`` forces the
+  sorting oracle.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import baseline_nvm, fgnvm
+from repro.core.fgnvm_bank import make_fgnvm_bank
+from repro.memsys.address import AddressMapper
+from repro.memsys.request import (
+    SERVICE_ROW_HIT,
+    SERVICE_ROW_MISS,
+    SERVICE_UNDERFETCH,
+    SERVICE_WRITE,
+    MemRequest,
+    OpType,
+)
+from repro.memsys.scheduler import FrfcfsScheduler, IncrementalFrfcfs
+from repro.memsys.stats import StatsCollector
+from repro.sim.experiment import run_benchmark
+
+NOW = 100
+
+
+class ScriptedBank:
+    """Protocol-only test double: no ``kind_and_constraint`` attribute.
+
+    Exercises the scheduler's fallback onto ``is_row_hit`` /
+    ``earliest_start`` — the path scriptable doubles and third-party
+    bank models take.
+    """
+
+    def __init__(self):
+        self.hits = {}
+        self.ready = {}
+
+    def is_row_hit(self, req):
+        return self.hits[req.req_id]
+
+    def earliest_start(self, req, now):
+        return max(now, self.ready[req.req_id])
+
+
+class CachedScriptedBank(ScriptedBank):
+    """Double exposing the memoized fast-path API banks provide.
+
+    Maps the scripted (hit, ready) pair onto the (kind, constraint)
+    contract: constraint is now-independent, row-hit status follows from
+    the service kind exactly as in ``FgNvmBank.kind_and_constraint``.
+    """
+
+    def kind_and_constraint(self, req):
+        if self.hits[req.req_id]:
+            kind = SERVICE_WRITE if req.is_write else SERVICE_ROW_HIT
+        else:
+            kind = SERVICE_ROW_MISS if req.req_id % 2 else SERVICE_UNDERFETCH
+        return kind, self.ready[req.req_id]
+
+
+def scripted_candidates(spec, bank_cls):
+    """Build (req, bank) candidates from drawn (arrival, hit, delay)."""
+    bank = bank_cls()
+    candidates = []
+    for arrival, hit, delay in spec:
+        req = MemRequest(OpType.WRITE if hit and arrival % 2 else OpType.READ,
+                         address=0)
+        req.mark_queued(arrival)
+        bank.hits[req.req_id] = hit
+        # delay <= 0 keeps the candidate issuable at NOW; > 0 blocks it.
+        bank.ready[req.req_id] = NOW + delay
+        candidates.append((req, bank))
+    return candidates
+
+
+#: (arrival_cycle, is_row_hit, readiness delay relative to NOW).  The
+#: tiny arrival range forces ties (broken by req_id); delays straddle
+#: zero so blocked candidates appear alongside issuable ones.
+CANDIDATE_SPEC = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=3),
+        st.booleans(),
+        st.integers(min_value=-4, max_value=4),
+    ),
+    min_size=0,
+    max_size=12,
+)
+
+
+class TestScriptedEquivalence:
+    @given(spec=CANDIDATE_SPEC)
+    @settings(max_examples=200, deadline=None)
+    def test_pick_matches_reference_fallback_path(self, spec):
+        candidates = scripted_candidates(spec, ScriptedBank)
+        reference = FrfcfsScheduler().rank(candidates, NOW)
+        picked = IncrementalFrfcfs().pick(candidates, NOW)
+        if not reference:
+            assert picked is None
+        else:
+            assert picked is reference[0]
+
+    @given(spec=CANDIDATE_SPEC)
+    @settings(max_examples=200, deadline=None)
+    def test_pick_matches_reference_cached_path(self, spec):
+        candidates = scripted_candidates(spec, CachedScriptedBank)
+        reference = FrfcfsScheduler().rank(candidates, NOW)
+        picked = IncrementalFrfcfs().pick(candidates, NOW)
+        if not reference:
+            assert picked is None
+        else:
+            assert picked is reference[0]
+
+    @given(spec=CANDIDATE_SPEC)
+    @settings(max_examples=100, deadline=None)
+    def test_blocked_horizon_is_min_blocked_constraint(self, spec):
+        candidates = scripted_candidates(spec, CachedScriptedBank)
+        _, horizon = IncrementalFrfcfs().pick_with_horizon(candidates, NOW)
+        blocked = [bank.earliest_start(req, NOW)
+                   for req, bank in candidates
+                   if bank.earliest_start(req, NOW) > NOW]
+        assert horizon == (min(blocked) if blocked else None)
+
+
+def fresh_bank():
+    cfg = fgnvm(4, 4)
+    cfg.org.rows_per_bank = 64
+    return (make_fgnvm_bank(0, cfg.org, cfg.timing.cycles(),
+                            StatsCollector()),
+            AddressMapper(cfg.org))
+
+
+#: A workload against one live bank: (is_write, row, col) per request.
+LIVE_SPEC = st.lists(
+    st.tuples(
+        st.booleans(),
+        st.integers(min_value=0, max_value=63),
+        st.integers(min_value=0, max_value=7),
+    ),
+    min_size=1,
+    max_size=16,
+)
+
+
+class TestLiveBankEquivalence:
+    """Replay random workloads, comparing picks as the memo churns."""
+
+    @given(spec=LIVE_SPEC)
+    @settings(max_examples=100, deadline=None)
+    def test_pick_matches_reference_across_issues(self, spec):
+        bank, mapper = fresh_bank()
+        pending = []
+        for index, (is_write, row, col) in enumerate(spec):
+            address = mapper.encode(row=row, col=col)
+            req = MemRequest(OpType.WRITE if is_write else OpType.READ,
+                             address, decoded=mapper.decode(address))
+            req.mark_queued(index // 2)  # paired arrivals force ties
+            pending.append(req)
+
+        incremental = IncrementalFrfcfs()
+        reference = FrfcfsScheduler()
+        now = 0
+        guard = 0
+        while pending:
+            guard += 1
+            assert guard < 10_000, "live replay failed to drain"
+            candidates = [(req, bank) for req in pending]
+            ranked = reference.rank(candidates, now)
+            picked = incremental.pick(candidates, now)
+            if not ranked:
+                assert picked is None
+                now += 1
+                continue
+            assert picked is ranked[0]
+            req = picked[0]
+            bank.issue(req, now)  # mutates state, drops the memo
+            pending.remove(req)
+            now += 1
+
+
+class TestEndToEndCycleIdentity:
+    """The figure sweeps are bit-identical under either implementation."""
+
+    CONFIGS = (baseline_nvm, lambda: fgnvm(4, 4), lambda: fgnvm(8, 2))
+
+    @pytest.mark.parametrize("make_cfg", CONFIGS,
+                             ids=("baseline", "fgnvm-4x4", "fgnvm-8x2"))
+    def test_sweep_summary_identical(self, make_cfg, monkeypatch):
+        def small(cfg):
+            cfg.org.rows_per_bank = 1024
+            return cfg
+
+        monkeypatch.delenv("REPRO_SCHEDULER", raising=False)
+        fast = run_benchmark(small(make_cfg()), "mcf", 400)
+        monkeypatch.setenv("REPRO_SCHEDULER", "reference")
+        oracle = run_benchmark(small(make_cfg()), "mcf", 400)
+        assert fast.summary() == oracle.summary()
+        assert fast.cycles == oracle.cycles
+        assert fast.ipc == oracle.ipc

@@ -11,7 +11,7 @@ from repro.sim.epochs import (
     phase_summary,
     sparkline,
 )
-from repro.sim.simulator import simulate
+from repro.sim.simulator import Simulator, simulate
 from repro.workloads.synthetic import multi_stream_kernel
 
 
@@ -95,6 +95,42 @@ class TestSimulatorIntegration:
         digest = phase_summary(result.epochs, 500, ratio)
         assert set(digest) == {"ipc", "reads", "writes", "pending"}
         assert len(digest["ipc"]) == len(result.epochs)
+
+
+class UnskippedSimulator(Simulator):
+    """The pre-event-driven loop: one cycle at a time, no clock jumps."""
+
+    def _next_cycle(self):
+        return self.now + 1
+
+
+class TestSkippedCycleEpochs:
+    """Epoch sampling under clock skipping matches the unskipped loop.
+
+    The event-driven clock can jump over epoch boundaries; the simulator
+    materialises those boundaries at the next visited cycle with the
+    counters the cycle-by-cycle loop would have sampled.  This pins the
+    whole epoch series — boundary cycles included — against a simulator
+    whose ``_next_cycle`` never skips.
+    """
+
+    def trace(self):
+        return multi_stream_kernel(
+            300, streams=4, gap=6, write_fraction=0.25, seed=5,
+        )
+
+    @pytest.mark.parametrize("epoch_cycles", (250, 500, 1000))
+    def test_epoch_series_identical_to_unskipped(self, epoch_cycles):
+        cfg = small(fgnvm(4, 4))
+        cfg.sim.epoch_cycles = epoch_cycles
+        skipped = Simulator(cfg, self.trace()).run()
+        cfg2 = small(fgnvm(4, 4))
+        cfg2.sim.epoch_cycles = epoch_cycles
+        unskipped = UnskippedSimulator(cfg2, self.trace()).run()
+        assert skipped.epochs == unskipped.epochs
+        assert skipped.cycles == unskipped.cycles
+        assert skipped.instructions == unskipped.instructions
+        assert skipped.summary() == unskipped.summary()
 
 
 class TestWarmup:
