@@ -9,7 +9,11 @@ controlled queue depths and bank counts:
   held at a fixed occupancy,
 * ``clock-advance`` — the ``next_event_after`` horizon query the
   simulator calls whenever the CPU is blocked (heap top + cached
-  min-constraint).
+  min-constraint),
+* ``policy-tick`` — the same tick loop once per registered scheduling
+  policy at one mid-size grid point, so a slow ranking key in any
+  policy (the generic min-scan base included) shows up next to the
+  hand-unrolled FRFCFS numbers.
 
 Timings are recorded as ``microbench``-sourced entries in the session's
 ``BENCH_PERF.json`` via :func:`conftest.record_perf_entry`, alongside
@@ -24,6 +28,7 @@ import pytest
 from conftest import record_perf_entry
 from repro.config import fgnvm
 from repro.memsys.controller import MemoryController
+from repro.memsys.policies import apply_policy, policy_names
 from repro.memsys.request import MemRequest, OpType
 from repro.memsys.stats import StatsCollector
 from repro.obs.perf import PerfEntry
@@ -123,3 +128,45 @@ def bench_clock_advance(banks, depth, cache):
     assert ctrl.next_event_after(0) == horizon  # pure query, no mutation
     _record(f"hotpath-b{banks}-d{depth}", "clock-advance", depth,
             QUERY_ITERS, samples)
+
+
+#: One mid-size grid point for the per-policy tick bench.
+POLICY_BANKS, POLICY_DEPTH = 8, 32
+
+
+def _policy_controller(policy, banks, depth):
+    cfg = apply_policy(_config(banks), policy)
+    ctrl = MemoryController(cfg, StatsCollector())
+    for i in range(depth):
+        address = ctrl.mapper.encode(
+            bank=i % banks, row=(i * 7) % 512, col=i % 4
+        )
+        ctrl.enqueue(MemRequest(OpType.READ, address), 0)
+    return ctrl
+
+
+@pytest.mark.parametrize("policy", policy_names())
+def bench_policy_tick(policy, cache):
+    """Tick throughput per registered policy at b8-d32."""
+    samples = []
+    completed_total = 0
+    for _ in range(SAMPLES):
+        ctrl = _policy_controller(policy, POLICY_BANKS, POLICY_DEPTH)
+        mapper = ctrl.mapper
+        fill = POLICY_DEPTH
+        start = time.perf_counter()
+        for now in range(TICK_CYCLES):
+            done = ctrl.tick(now)
+            if done:
+                completed_total += len(done)
+                for _ in done:
+                    address = mapper.encode(
+                        bank=fill % POLICY_BANKS, row=(fill * 7) % 512,
+                        col=fill % 4,
+                    )
+                    ctrl.enqueue(MemRequest(OpType.READ, address), now)
+                    fill += 1
+        samples.append(time.perf_counter() - start)
+    assert completed_total > 0, "policy tick bench never completed"
+    _record(f"policy-{policy}", "ctrl-tick", POLICY_DEPTH,
+            TICK_CYCLES, samples)

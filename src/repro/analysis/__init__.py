@@ -15,6 +15,13 @@ from .figure5 import (
     render_figure5,
     run_figure5,
 )
+from .figure_policies import (
+    FigurePoliciesResult,
+    check_figure_policies_shape,
+    figure_policies_configs,
+    render_figure_policies,
+    run_figure_policies,
+)
 from .reproduce import ReproductionManifest, reproduce_all
 from .table1 import Table1Result, check_table1, render_table1, run_table1
 from .table2 import check_table2, render_table2
@@ -39,6 +46,11 @@ __all__ = [
     "check_figure5_shape",
     "render_figure5",
     "run_figure5",
+    "FigurePoliciesResult",
+    "check_figure_policies_shape",
+    "figure_policies_configs",
+    "render_figure_policies",
+    "run_figure_policies",
     "ReproductionManifest",
     "reproduce_all",
     "Table1Result",

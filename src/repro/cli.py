@@ -57,7 +57,9 @@ from .config import (
     fgnvm_multi_issue,
     fgnvm_per_sag_buffers,
     many_banks,
+    salp,
 )
+from .memsys.policies import apply_policy, policy_names
 from .resilience import (
     FaultPlan,
     ResilientEngine,
@@ -96,6 +98,7 @@ CONFIG_BUILDERS: Dict[str, Callable[[], SystemConfig]] = {
     "128-banks": lambda: many_banks(8, 2),
     "multi-issue": lambda: fgnvm_multi_issue(8, 2),
     "sag-buffers": lambda: fgnvm_per_sag_buffers(8, 2),
+    "salp-8": lambda: salp(8),
 }
 
 
@@ -202,6 +205,9 @@ def _cmd_list(args) -> int:
     print("configurations:")
     for name in CONFIG_BUILDERS:
         print(f"  {name}")
+    print("\nscheduler policies (--policy; see docs/policies.md):")
+    for name in policy_names():
+        print(f"  {name}")
     print("\nbenchmark profiles (all LLC MPKI >= 10):")
     for name in benchmark_names():
         profile = get_profile(name)
@@ -210,6 +216,19 @@ def _cmd_list(args) -> int:
             f"writes={profile.write_fraction:.0%}"
         )
     return 0
+
+
+def _with_policy(config: SystemConfig, args) -> SystemConfig:
+    """Apply ``--policy`` (a registry name) to a config.
+
+    Unknown names are reported with the registered list — the registry
+    raises a ``ReproError`` subtype that ``main`` turns into a clean
+    ``SystemExit``.
+    """
+    policy = getattr(args, "policy", None)
+    if not policy:
+        return config
+    return apply_policy(config, policy)
 
 
 def _with_epoch_cycles(config: SystemConfig, args) -> SystemConfig:
@@ -245,7 +264,9 @@ def _emit_artifacts(args, sink, registry) -> None:
 
 
 def _cmd_run(args) -> int:
-    config = _with_epoch_cycles(build_config(args.config), args)
+    config = _with_epoch_cycles(
+        _with_policy(build_config(args.config), args), args
+    )
     probe, sink, registry = _instrumentation(args)
     if args.trace:
         result = run_trace(config, read_trace(args.trace), probe=probe)
@@ -277,7 +298,9 @@ def _cmd_run(args) -> int:
 def _cmd_compare(args) -> int:
     engine = _make_engine(args)
     configs = {
-        name: _with_epoch_cycles(build_config(name), args)
+        name: _with_epoch_cycles(
+            _with_policy(build_config(name), args), args
+        )
         for name in args.configs
     }
     results = compare_architectures(
@@ -302,7 +325,7 @@ def _cmd_compare(args) -> int:
 def _cmd_sweep(args) -> int:
     engine = _make_engine(args)
     sweep = parameter_sweep(
-        build_config(args.config),
+        _with_policy(build_config(args.config), args),
         args.path,
         [_parse_value(v) for v in args.values],
         args.benchmark,
@@ -346,6 +369,19 @@ def _cmd_figure5(args) -> int:
     _report_engine(args, engine)
     print(analysis.render_figure5(result))
     problems = analysis.check_figure5_shape(result)
+    for problem in problems:
+        print(f"SHAPE VIOLATION: {problem}", file=sys.stderr)
+    return 1 if problems else 0
+
+
+def _cmd_figure_policies(args) -> int:
+    engine = _make_engine(args)
+    result = analysis.run_figure_policies(
+        args.benchmarks or None, args.requests, engine=engine
+    )
+    _report_engine(args, engine)
+    print(analysis.render_figure_policies(result))
+    problems = analysis.check_figure_policies_shape(result)
     for problem in problems:
         print(f"SHAPE VIOLATION: {problem}", file=sys.stderr)
     return 1 if problems else 0
@@ -621,6 +657,11 @@ def make_parser() -> argparse.ArgumentParser:
     run_p = sub.add_parser("run", help="simulate one config + workload")
     run_p.add_argument("--config", default="fgnvm-8x2",
                        choices=sorted(CONFIG_BUILDERS))
+    run_p.add_argument(
+        "--policy", default=None, metavar="NAME",
+        help="scheduler policy from the registry (repro list shows "
+             "the names); overrides the config's default pair",
+    )
     run_p.add_argument("--benchmark", default="mcf")
     run_p.add_argument("--requests", type=int, default=5000)
     run_p.add_argument("--trace", help="replay a native trace file instead")
@@ -650,6 +691,10 @@ def make_parser() -> argparse.ArgumentParser:
     cmp_p.add_argument("--configs", nargs="+",
                        default=["baseline", "fgnvm-8x2", "128-banks"],
                        choices=sorted(CONFIG_BUILDERS))
+    cmp_p.add_argument(
+        "--policy", default=None, metavar="NAME",
+        help="scheduler policy applied to every compared config",
+    )
     cmp_p.add_argument("--benchmark", default="mcf")
     cmp_p.add_argument("--requests", type=int, default=3000)
     cmp_p.add_argument(
@@ -664,9 +709,22 @@ def make_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--path", required=True,
                          help="dotted config path, e.g. org.column_divisions")
     sweep_p.add_argument("--values", nargs="+", required=True)
+    sweep_p.add_argument(
+        "--policy", default=None, metavar="NAME",
+        help="scheduler policy applied to the swept config",
+    )
     sweep_p.add_argument("--benchmark", default="mcf")
     sweep_p.add_argument("--requests", type=int, default=2000)
     _add_engine_flags(sweep_p)
+
+    pol_p = sub.add_parser(
+        "figure-policies",
+        help="policy-zoo comparison: FgNVM vs PALP vs SALP speedup "
+             "and energy",
+    )
+    pol_p.add_argument("--benchmarks", nargs="*", default=[])
+    pol_p.add_argument("--requests", type=int, default=2500)
+    _add_engine_flags(pol_p)
 
     sub.add_parser("figure3", help="access-scheme timelines (Figure 3)")
     sub.add_parser("table1", help="regenerate Table 1 (area)")
@@ -810,6 +868,7 @@ _HANDLERS = {
     "figure3": _cmd_figure3,
     "figure4": _cmd_figure4,
     "figure5": _cmd_figure5,
+    "figure-policies": _cmd_figure_policies,
     "table1": _cmd_table1,
     "table2": _cmd_table2,
     "headline": _cmd_headline,

@@ -34,11 +34,17 @@ class BankArchitecture(enum.Enum):
     * ``MANY_BANKS`` — the "128 Banks" comparison point of Figure 4: the
       baseline bank model replicated so each (SAG, CD)-sized unit is a
       fully independent bank (upper bound free of CD/SAG conflicts).
+    * ``SALP`` — subarray-level parallelism only [Kim et al., ISCA'12]:
+      N subarray groups each holding an open row, but a single full-row
+      column division, so every activation senses the whole row.  The
+      organisational midpoint between BASELINE and FGNVM: row-axis
+      parallelism without the column-axis subdivision.
     """
 
     BASELINE = "baseline"
     FGNVM = "fgnvm"
     MANY_BANKS = "many_banks"
+    SALP = "salp"
 
 
 class SchedulerKind(enum.Enum):
@@ -228,6 +234,12 @@ class ControllerParams:
     """Memory-controller queueing and scheduling parameters (Table 2)."""
 
     scheduler: SchedulerKind = SchedulerKind.FRFCFS
+    #: Named entry from :mod:`repro.memsys.policies` selecting the
+    #: (fast implementation, reference oracle) scheduler pair.  ``None``
+    #: keeps the ``scheduler`` kind's default pair (``fcfs`` for FCFS,
+    #: ``frfcfs-incremental`` for the FRFCFS kinds); a name overrides
+    #: the ranking while the kind keeps gating multi-issue widths.
+    policy: Optional[str] = None
     read_queue_entries: int = 32  #: "32 queue entries".
     write_queue_entries: int = 64  #: "64 write drivers".
     #: Write-drain watermarks: switch to write mode at/above high, switch
@@ -334,7 +346,10 @@ class SystemConfig:
                 f"{self.org.column_divisions} CDs"
             ),
             "row_buffer": f"{self.org.row_size_bytes}B",
-            "scheduler": self.controller.scheduler.value,
+            "scheduler": self.controller.scheduler.value
+            if self.controller.policy is None
+            else f"{self.controller.scheduler.value} "
+                 f"(policy: {self.controller.policy})",
             "queues": (
                 f"{self.controller.read_queue_entries} read / "
                 f"{self.controller.write_queue_entries} write drivers"

@@ -125,6 +125,34 @@ def fgnvm(subarray_groups: int = 4, column_divisions: int = 4) -> SystemConfig:
     return validate_config(cfg)
 
 
+def salp(subarray_groups: int = 8) -> SystemConfig:
+    """SALP-style organisation [Kim et al., ISCA'12]: subarray-level
+    parallelism only.
+
+    ``N`` subarray groups each hold an open row (writes park only their
+    SAG), but the single full-row column division means every activation
+    senses the whole row — the organisational midpoint between the
+    baseline bank and full 2-D FgNVM.  The controller runs the ``salp``
+    registry policy: plain FRFCFS ranking, no FgNVM write throttle.
+    """
+    org = _base_org()
+    org.architecture = BankArchitecture.SALP
+    org.subarray_groups = subarray_groups
+    org.column_divisions = 1
+    controller = table2_controller()
+    controller.policy = "salp"
+    cfg = SystemConfig(
+        name=f"salp-{subarray_groups}",
+        timing=table2_timing(),
+        energy=EnergyParams(),
+        org=org,
+        controller=controller,
+        cpu=CpuParams(),
+        sim=SimParams(),
+    )
+    return validate_config(cfg)
+
+
 def many_banks(subarray_groups: int = 8, column_divisions: int = 2) -> SystemConfig:
     """The "128 Banks" comparison: independent banks, one per (SAG, CD).
 
@@ -214,7 +242,7 @@ def figure5_configs() -> Dict[str, SystemConfig]:
 def all_presets() -> List[SystemConfig]:
     """Every named preset, for exhaustive validation tests."""
     presets = [baseline_nvm(), many_banks(), fgnvm_multi_issue(),
-               fgnvm_per_sag_buffers()]
+               fgnvm_per_sag_buffers(), salp()]
     for sags, cds in ((4, 4), (8, 2), (8, 8), (8, 32), (32, 32)):
         presets.append(fgnvm(sags, cds))
     return presets

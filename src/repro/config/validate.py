@@ -109,6 +109,23 @@ def validation_errors(config: SystemConfig) -> List[str]:
             "MANY_BANKS needs subarray_groups * column_divisions > 1 to "
             "define the replacement bank count"
         )
+    if org.architecture is BankArchitecture.SALP:
+        if org.column_divisions != 1:
+            problems.append(
+                "SALP exposes a single full-row column division; set "
+                f"org.column_divisions = 1, got {org.column_divisions}"
+            )
+        if org.subarray_groups <= 1:
+            problems.append(
+                "SALP needs subarray_groups > 1 (one subarray group is "
+                "just the baseline bank)"
+            )
+
+    # Imported lazily: the registry lives in the memsys layer, which
+    # itself imports config.params — a module-level import would cycle.
+    from ..memsys.policies import policy_validation_problems
+
+    problems.extend(policy_validation_problems(config))
     return problems
 
 

@@ -21,7 +21,30 @@ from .request import (
     OpType,
     RequestState,
 )
-from .scheduler import FcfsScheduler, FrfcfsScheduler, make_scheduler
+from .policies import (
+    ORGANISATION_CAPS,
+    OrganisationCaps,
+    PolicySpec,
+    apply_policy,
+    check_policy_pairing,
+    get_policy,
+    policy_names,
+    register_policy,
+    registered_policies,
+    resolve_scheduler,
+    unregister_policy,
+)
+from .scheduler import (
+    FcfsScheduler,
+    FrfcfsScheduler,
+    IncrementalFcfs,
+    IncrementalFrfcfs,
+    IncrementalPalp,
+    IncrementalRbla,
+    PalpReference,
+    RblaReference,
+    make_scheduler,
+)
 from .stats import StatsCollector
 
 __all__ = [
@@ -42,8 +65,25 @@ __all__ = [
     "MemRequest",
     "OpType",
     "RequestState",
+    "ORGANISATION_CAPS",
+    "OrganisationCaps",
+    "PolicySpec",
+    "apply_policy",
+    "check_policy_pairing",
+    "get_policy",
+    "policy_names",
+    "register_policy",
+    "registered_policies",
+    "resolve_scheduler",
+    "unregister_policy",
     "FcfsScheduler",
     "FrfcfsScheduler",
+    "IncrementalFcfs",
+    "IncrementalFrfcfs",
+    "IncrementalPalp",
+    "IncrementalRbla",
+    "PalpReference",
+    "RblaReference",
     "make_scheduler",
     "StatsCollector",
 ]

@@ -13,6 +13,14 @@ The "128 Banks" comparison point of Figure 4 replaces each FgNVM bank by
 sized like one (SAG, CD) pair, so one sense latches ``row/CDs`` bytes —
 but there are no shared-SAG/shared-CD constraints between units; only the
 rank's command and data buses are shared.
+
+The SALP organisation [Kim et al., ISCA'12] sits between those poles:
+``N SAGs x 1 CD``.  Each subarray group holds its own open row (row-axis
+parallelism, writes park only their SAG) but the single full-row column
+division means every activation senses the whole row, DRAM-style — no
+Partial-Activation energy savings.  It is the FgNVM model with the
+column axis collapsed, which is exactly how :func:`build_banks`
+instantiates it.
 """
 
 from __future__ import annotations
@@ -72,6 +80,23 @@ def build_banks(
     if org.architecture is BankArchitecture.FGNVM:
         return [
             make_fgnvm_bank(bank_id, org, timing, stats)
+            for bank_id in range(channel_banks)
+        ]
+    if org.architecture is BankArchitecture.SALP:
+        # Subarray-level parallelism only: N open rows, one full-row
+        # column division, the whole row sensed on every activation
+        # (including the DRAM-style ACT before a write).
+        return [
+            FgNvmBank(
+                bank_id=bank_id,
+                subarray_groups=org.subarray_groups,
+                column_divisions=1,
+                timing=timing,
+                sense_bits=org.row_size_bytes * BITS_PER_BYTE,
+                write_bits=org.cacheline_bytes * BITS_PER_BYTE,
+                stats=stats,
+                sense_on_write_activate=True,
+            )
             for bank_id in range(channel_banks)
         ]
     # MANY_BANKS: one independent unit per (rank, bank, SAG, CD); each

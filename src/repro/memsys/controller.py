@@ -42,9 +42,10 @@ from ..obs.perf.profiler import (
 from .address import AddressMapper
 from .bank_baseline import build_banks
 from .bus import CommandBus, DataBus
+from .policies import resolve_scheduler
 from .queues import TransactionQueue, WriteQueue
 from .request import MemRequest, OpType
-from .scheduler import Candidate, make_scheduler
+from .scheduler import Candidate
 from .stats import StatsCollector
 
 #: Quiet-cycle sentinel: "no issuable work until something enqueues".
@@ -75,7 +76,7 @@ class MemoryController:
         if config.controller.close_page:
             for bank in self.banks:
                 bank.close_page = True
-        self.scheduler = make_scheduler(config.controller.scheduler)
+        self.scheduler = resolve_scheduler(config.controller)
         self.read_queue = TransactionQueue(
             config.controller.read_queue_entries
         )
@@ -358,6 +359,13 @@ class MemoryController:
         self._quiet_until = 0
         self._minc_dirty = True
         result = bank.issue(req, now)
+        # Stateful policies (RBLA) learn from what actually issued; the
+        # live getattr keeps the hook optional and test-swap safe, and
+        # both a fast policy and its forced oracle receive the identical
+        # feedback stream.
+        note = getattr(self.scheduler, "note_issued", None)
+        if note is not None:
+            note(req, bank, result.kind)
         if req.is_read:
             bus_start = self.data_bus.reserve(result.bus_desired_start)
             completion = bus_start + self.timing.tburst

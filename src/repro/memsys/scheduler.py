@@ -16,18 +16,35 @@ Implements the controller policies the paper evaluates:
   cycle, so it is expressed through ``ControllerParams.issue_width``
   rather than a separate class; :func:`make_scheduler` maps the enum.
 
+Beyond the paper, the related-work policies of the registry
+(:mod:`repro.memsys.policies`) live here too, each as a (fast
+implementation, brute-force oracle) pair sharing one ranking mixin:
+
+* :class:`IncrementalPalp` / :class:`PalpReference` — PALP-style
+  partition-level read/write overlap [Song, Das, Mutlu et al.]: among
+  equally-aged candidates, reads targeting a bank with an in-flight
+  background write go first, soaking up write latency the bank would
+  otherwise serve alone.
+* :class:`IncrementalRbla` / :class:`RblaReference` — Meza-style
+  row-buffer-locality-aware ranking [Meza et al., CAL'12]: a per-bank
+  saturating locality score (fed back from issued service kinds)
+  breaks ties toward banks with hot row buffers.
+* :class:`IncrementalFcfs` — FCFS as the same single-pass min-scan,
+  with :class:`FcfsScheduler` as its oracle.
+
 A policy ranks *issuable* candidates; the controller determines
 issuability (bank resources, bus slots) and enforces read/write phase
-policy.
+policy.  Ranking never changes *which* candidates are issuable
+(``earliest_start <= now`` is policy-independent), which is what keeps
+the controller's quiet-cycle memo and event horizon valid for every
+policy in the zoo.
 """
 
 from __future__ import annotations
 
-import os
 from typing import List, Optional, Protocol, Sequence, Tuple
 
 from ..config.params import SchedulerKind
-from ..errors import SchedulerError
 from .request import SERVICE_ROW_HIT, SERVICE_WRITE, MemRequest
 
 
@@ -169,23 +186,217 @@ class IncrementalFrfcfs(FrfcfsScheduler):
         return best, blocked_min
 
 
-#: Environment override for the FRFCFS implementation (differential CI
-#: runs): ``incremental`` / ``frfcfs-incremental`` force the fast policy,
-#: ``reference`` / ``frfcfs`` force the oracle.
+def _classify(req: MemRequest, bank: BankLike, now: int
+              ) -> Tuple[bool, int]:
+    """(is_row_hit, earliest-start constraint) via the memoized fast
+    path when the bank provides it, the protocol pair otherwise."""
+    lookup = getattr(bank, "kind_and_constraint", None)
+    if lookup is not None:
+        kind, constraint = lookup(req)
+        return kind == SERVICE_ROW_HIT or kind == SERVICE_WRITE, constraint
+    return bank.is_row_hit(req), bank.earliest_start(req, now)
+
+
+class MinScanPolicy(SchedulingPolicy):
+    """Shared single-pass min-scan base for incremental fast policies.
+
+    Subclasses define :meth:`scan_key`; ``pick_with_horizon`` finds the
+    key-minimal issuable candidate in one pass (no sort, no filtered
+    list) while tracking the earliest constraint among blocked
+    candidates for the controller's quiet-cycle memo.
+    :class:`IncrementalFrfcfs` predates this base and keeps its
+    hand-unrolled comparison (it is the hot default); every other fast
+    policy pays one small key tuple per issuable candidate.
+    """
+
+    #: Controllers key their fast paths off this flag.
+    incremental = True
+
+    def scan_key(self, req: MemRequest, bank: BankLike, hit: bool,
+                 now: int) -> tuple:
+        raise NotImplementedError
+
+    def rank(self, candidates: Sequence[Candidate], now: int
+             ) -> List[Candidate]:
+        issuable = [
+            cand for cand in candidates
+            if cand[1].earliest_start(cand[0], now) <= now
+        ]
+        issuable.sort(key=lambda cand: self.scan_key(
+            cand[0], cand[1], cand[1].is_row_hit(cand[0]), now
+        ))
+        return issuable
+
+    def pick(self, candidates: Sequence[Candidate], now: int
+             ) -> Optional[Candidate]:
+        return self.pick_with_horizon(candidates, now)[0]
+
+    def pick_with_horizon(self, candidates: Sequence[Candidate], now: int
+                          ) -> "Tuple[Optional[Candidate], Optional[int]]":
+        best: Optional[Candidate] = None
+        best_key: Optional[tuple] = None
+        blocked_min: Optional[int] = None
+        for cand in candidates:
+            req, bank = cand
+            hit, constraint = _classify(req, bank, now)
+            if constraint > now:
+                if blocked_min is None or constraint < blocked_min:
+                    blocked_min = constraint
+                continue
+            key = self.scan_key(req, bank, hit, now)
+            if best_key is None or key < best_key:
+                best = cand
+                best_key = key
+        return best, blocked_min
+
+
+class KeyedReference(SchedulingPolicy):
+    """Brute-force oracle base: filter issuable, sort everything.
+
+    Classification deliberately goes through the protocol pair
+    (``is_row_hit`` / ``earliest_start``), not the banks' memo, so the
+    oracle is an independent second opinion on the fast policy's
+    memoized scan.
+    """
+
+    def scan_key(self, req: MemRequest, bank: BankLike, hit: bool,
+                 now: int) -> tuple:
+        raise NotImplementedError
+
+    def rank(self, candidates: Sequence[Candidate], now: int
+             ) -> List[Candidate]:
+        issuable = [
+            cand for cand in candidates
+            if cand[1].earliest_start(cand[0], now) <= now
+        ]
+        issuable.sort(key=lambda cand: self.scan_key(
+            cand[0], cand[1], cand[1].is_row_hit(cand[0]), now
+        ))
+        return issuable
+
+
+class FcfsRanking:
+    """Arrival order, req_id tie-break — the FCFS key."""
+
+    def scan_key(self, req: MemRequest, bank: BankLike, hit: bool,
+                 now: int) -> tuple:
+        return (req.arrival_cycle, req.req_id)
+
+
+class IncrementalFcfs(FcfsRanking, MinScanPolicy, FcfsScheduler):
+    """FCFS as a single min-scan; :class:`FcfsScheduler` is its oracle."""
+
+    name = "fcfs-incremental"
+
+
+def _active_writes(bank: BankLike, now: int) -> int:
+    """Writes in flight in ``bank`` (0 for models without the query)."""
+    probe = getattr(bank, "active_writes", None)
+    return probe(now) if probe is not None else 0
+
+
+class PalpRanking:
+    """PALP key: row hits, then reads overlapping an in-flight write.
+
+    The overlap bonus models PALP's partition-level parallelism [Song,
+    Das, Mutlu et al.]: a read that can proceed in a different partition
+    (SAG/CD tile) of a bank already serving a background write turns
+    otherwise-serialised write latency into overlapped work, so among
+    equally-ready candidates those reads issue first.  Banks without an
+    ``active_writes`` query (baseline-style models, test doubles) never
+    report overlap and the ranking degenerates to plain FRFCFS.
+    """
+
+    def scan_key(self, req: MemRequest, bank: BankLike, hit: bool,
+                 now: int) -> tuple:
+        overlap = req.is_read and _active_writes(bank, now) > 0
+        return (not hit, not overlap, req.arrival_cycle, req.req_id)
+
+
+class PalpReference(PalpRanking, KeyedReference):
+    """Sort-based PALP oracle."""
+
+    name = "palp-reference"
+
+
+class IncrementalPalp(PalpRanking, MinScanPolicy):
+    """Single-pass PALP; oracle: :class:`PalpReference`."""
+
+    name = "palp"
+
+
+#: Saturation ceiling for the per-bank locality score.
+_RBLA_MAX_SCORE = 7
+
+#: Service kinds that count as row-buffer hits for the locality score.
+_HIT_KINDS = (SERVICE_ROW_HIT, SERVICE_WRITE)
+
+
+class RblaState:
+    """Per-bank saturating row-buffer-locality score [Meza et al.].
+
+    The controller feeds issued service kinds back through
+    :meth:`note_issued`; a hit bumps the target bank's score (saturating
+    at ``_RBLA_MAX_SCORE``), a miss halves it.  Both the fast policy and
+    its oracle carry this state, and the controller notifies whichever
+    is installed, so a forced-oracle run sees the identical score
+    evolution — a precondition for end-to-end differential identity.
+    """
+
+    def __init__(self):
+        #: bank identity -> saturating locality score.
+        self._locality: dict = {}
+
+    def locality(self, bank: BankLike) -> int:
+        return self._locality.get(id(bank), 0)
+
+    def note_issued(self, req: MemRequest, bank: BankLike,
+                    kind: str) -> None:
+        key = id(bank)
+        score = self._locality.get(key, 0)
+        if kind in _HIT_KINDS:
+            score = min(score + 1, _RBLA_MAX_SCORE)
+        else:
+            score //= 2
+        self._locality[key] = score
+
+    def scan_key(self, req: MemRequest, bank: BankLike, hit: bool,
+                 now: int) -> tuple:
+        return (not hit, -self.locality(bank), req.arrival_cycle,
+                req.req_id)
+
+
+class RblaReference(RblaState, KeyedReference):
+    """Sort-based RBLA oracle (stateful: see :class:`RblaState`)."""
+
+    name = "rbla-reference"
+
+
+class IncrementalRbla(RblaState, MinScanPolicy):
+    """Single-pass RBLA; oracle: :class:`RblaReference`."""
+
+    name = "rbla"
+
+
+#: Environment override for the scheduler implementation (differential
+#: CI runs): ``reference`` / ``oracle`` force the selected policy's
+#: brute-force oracle, a registered policy name forces that policy's
+#: fast implementation, and the legacy aliases ``frfcfs`` /
+#: ``incremental`` map onto the FRFCFS pair.  Resolution lives in
+#: :func:`repro.memsys.policies.resolve_scheduler`.
 SCHEDULER_ENV = "REPRO_SCHEDULER"
 
 
-def make_scheduler(kind: SchedulerKind) -> SchedulingPolicy:
-    """Instantiate the policy for a configuration enum value."""
-    if kind is SchedulerKind.FCFS:
-        return FcfsScheduler()
-    if kind in (SchedulerKind.FRFCFS, SchedulerKind.FRFCFS_MULTI_ISSUE):
-        forced = os.environ.get(SCHEDULER_ENV, "").strip().lower()
-        if forced in ("reference", "frfcfs"):
-            return FrfcfsScheduler()
-        if forced not in ("", "incremental", "frfcfs-incremental"):
-            raise SchedulerError(
-                f"unknown {SCHEDULER_ENV} value: {forced!r}"
-            )
-        return IncrementalFrfcfs()
-    raise SchedulerError(f"unknown scheduler kind: {kind}")
+def make_scheduler(kind: SchedulerKind,
+                   policy: Optional[str] = None) -> SchedulingPolicy:
+    """Instantiate the scheduler for a configuration.
+
+    ``policy`` names a registry entry (:mod:`repro.memsys.policies`);
+    ``None`` selects the ``kind``'s default pair.  The
+    ``REPRO_SCHEDULER`` environment variable can force the oracle or a
+    different registered policy — unknown values raise
+    :class:`~repro.errors.SchedulerError` listing the registered names.
+    """
+    from .policies import resolve_scheduler_for
+
+    return resolve_scheduler_for(kind, policy)

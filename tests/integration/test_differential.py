@@ -1,12 +1,22 @@
-"""Differential tests: FgNVM degenerates exactly to the baseline bank.
+"""Differential tests: independent implementations must agree exactly.
 
-An FgNVM bank subdivided 1 SAG x 1 CD is, by construction, the
-state-of-the-art baseline bank: one open row, the whole row sensed per
-activation, writes blocking the bank.  The two implementations live in
-different modules (`repro.core.fgnvm_bank` vs `repro.memsys.bank_baseline`),
-so this suite pins them against each other cycle-for-cycle — any drift
-in either model, the controller, or the experiment plumbing shows up as
-a summary mismatch here before it can silently shift a figure.
+Two families of guarantee live here:
+
+* **Degenerate equivalence** — an FgNVM bank subdivided 1 SAG x 1 CD
+  is, by construction, the state-of-the-art baseline bank: one open
+  row, the whole row sensed per activation, writes blocking the bank.
+  The two implementations live in different modules
+  (`repro.core.fgnvm_bank` vs `repro.memsys.bank_baseline`), so this
+  suite pins them against each other cycle-for-cycle.
+* **Per-policy sweep identity** — every policy in the registry ships a
+  fast scheduler and a brute-force reference oracle.  Forcing
+  ``REPRO_SCHEDULER=reference`` swaps every controller onto the oracle;
+  a whole parameter sweep must then reproduce the fast path's summaries
+  bit-for-bit, for every registered policy.
+
+Any drift in a bank model, a scheduler, the controller, or the
+experiment plumbing shows up as a summary mismatch here before it can
+silently shift a figure.
 """
 
 import pytest
@@ -14,7 +24,10 @@ import pytest
 from repro.config import baseline_nvm, fgnvm
 from repro.config.params import BankArchitecture
 from repro.config.validate import validate_config
+from repro.memsys.policies import apply_policy, policy_names
+from repro.memsys.scheduler import SCHEDULER_ENV
 from repro.sim.experiment import run_benchmark
+from repro.sim.sweeps import parameter_sweep
 
 REQUESTS = 600
 BENCHMARKS = ("mcf", "lbm", "milc")
@@ -83,3 +96,33 @@ class TestSubdivisionNeverHurts:
         floor = run_benchmark(small(fgnvm(1, 1)), bench, REQUESTS)
         tiled = run_benchmark(small(fgnvm(sags, cds)), bench, REQUESTS)
         assert tiled.ipc >= floor.ipc
+
+
+class TestPolicySweepIdentity:
+    """End-to-end fast-vs-oracle identity for every registered policy.
+
+    A whole subarray-group sweep is run twice per policy: once on the
+    policy's fast scheduler (env unset), once with
+    ``REPRO_SCHEDULER=reference`` forcing its brute-force oracle.  The
+    summaries must match exactly — cycles, energy, every counter.
+    """
+
+    SWEEP_SAGS = [2, 4]
+
+    def sweep(self, policy, bench="mcf"):
+        base = apply_policy(small(fgnvm(4, 4)), policy)
+        return parameter_sweep(base, "org.subarray_groups",
+                               self.SWEEP_SAGS, bench, REQUESTS)
+
+    @pytest.mark.parametrize("policy", policy_names())
+    def test_sweep_summaries_identical_to_oracle(self, policy,
+                                                 monkeypatch):
+        monkeypatch.delenv(SCHEDULER_ENV, raising=False)
+        fast = self.sweep(policy)
+        monkeypatch.setenv(SCHEDULER_ENV, "reference")
+        oracle = self.sweep(policy)
+        assert len(fast.results) == len(self.SWEEP_SAGS)
+        for fast_run, oracle_run in zip(fast.results, oracle.results):
+            assert fast_run.summary() == oracle_run.summary()
+            assert fast_run.cycles == oracle_run.cycles
+            assert fast_run.energy.total_pj == oracle_run.energy.total_pj

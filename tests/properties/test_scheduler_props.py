@@ -1,19 +1,25 @@
-"""Property tests: IncrementalFrfcfs is observationally FRFCFS.
+"""Property tests: every fast policy is observationally its oracle.
 
-The event-driven controller replaces FrfcfsScheduler's filter+sort with
-:class:`~repro.memsys.scheduler.IncrementalFrfcfs` — a single min-scan
-over memoized per-bank (kind, constraint) lookups.  These properties pin
-the two implementations against each other:
+The event-driven controller replaces sort-based ranking with
+single-pass min-scans over memoized per-bank (kind, constraint)
+lookups.  These properties pin each registered policy's fast
+implementation against its brute-force reference oracle
+(:mod:`repro.memsys.policies`):
 
 * on randomized scripted candidate sets (arrival ties broken by req_id,
-  row-hit flips, blocked candidates mixed in), through both the
+  row-hit flips, blocked candidates mixed in, banks with in-flight
+  writes for the PALP overlap signal), through both the
   ``kind_and_constraint`` fast path and the protocol fallback;
-* on a live :class:`~repro.core.fgnvm_bank.FgNvmBank`, where the memo is
-  populated and invalidated across real issues; and
-* end-to-end: the figure sweeps' configurations produce cycle-identical
-  run summaries whether the controller is built with the incremental
-  policy (the default) or ``REPRO_SCHEDULER=reference`` forces the
-  sorting oracle.
+* on a live :class:`~repro.core.fgnvm_bank.FgNvmBank`, where the memo
+  churns across real issues and stateful policies (RBLA) receive the
+  ``note_issued`` feedback stream; and
+* end-to-end: for every registered policy the same configuration
+  produces cycle-identical run summaries whether the controller runs
+  the fast implementation (the default) or
+  ``REPRO_SCHEDULER=reference`` forces the oracle.
+
+The FRFCFS-specific classes predate the registry and stay as extra
+belt-and-braces coverage of the repo-wide default pair.
 """
 
 import pytest
@@ -23,6 +29,7 @@ from hypothesis import strategies as st
 from repro.config import baseline_nvm, fgnvm
 from repro.core.fgnvm_bank import make_fgnvm_bank
 from repro.memsys.address import AddressMapper
+from repro.memsys.policies import apply_policy, get_policy, policy_names
 from repro.memsys.request import (
     SERVICE_ROW_HIT,
     SERVICE_ROW_MISS,
@@ -36,6 +43,9 @@ from repro.memsys.stats import StatsCollector
 from repro.sim.experiment import run_benchmark
 
 NOW = 100
+
+#: Every registered policy, id-stable for parametrised matrices.
+POLICY_NAMES = policy_names()
 
 
 class ScriptedBank:
@@ -192,6 +202,129 @@ class TestLiveBankEquivalence:
             now += 1
 
 
+class WritingScriptedBank(CachedScriptedBank):
+    """Cached-path double that also reports scripted in-flight writes.
+
+    Exercises the PALP overlap term; policies that ignore
+    ``active_writes`` must rank identically across both bank flavours.
+    """
+
+    def __init__(self, writes_in_flight=0):
+        super().__init__()
+        self._writes_in_flight = writes_in_flight
+
+    def active_writes(self, now):
+        return self._writes_in_flight
+
+
+def matrix_candidates(spec):
+    """(req, bank) candidates over one idle and one writing bank."""
+    banks = (WritingScriptedBank(0), WritingScriptedBank(1))
+    candidates = []
+    for arrival, hit, delay, bank_idx, is_write in spec:
+        req = MemRequest(OpType.WRITE if is_write else OpType.READ,
+                         address=0)
+        req.mark_queued(arrival)
+        bank = banks[bank_idx]
+        bank.hits[req.req_id] = hit
+        bank.ready[req.req_id] = NOW + delay
+        candidates.append((req, bank))
+    return candidates
+
+
+#: (arrival, is_row_hit, readiness delay, bank index, is_write) — the
+#: CANDIDATE_SPEC shape plus a bank axis (bank 1 has a write in flight)
+#: and an explicit op axis, so PALP's overlap term and RBLA's per-bank
+#: scores get distinct banks to tell apart.
+MATRIX_SPEC = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=3),
+        st.booleans(),
+        st.integers(min_value=-4, max_value=4),
+        st.integers(min_value=0, max_value=1),
+        st.booleans(),
+    ),
+    min_size=0,
+    max_size=12,
+)
+
+
+class TestPolicyMatrixScripted:
+    """Every registered policy: fast pick == oracle's top rank."""
+
+    @pytest.mark.parametrize("policy", POLICY_NAMES)
+    @given(spec=MATRIX_SPEC)
+    @settings(max_examples=60, deadline=None)
+    def test_pick_matches_oracle(self, policy, spec):
+        entry = get_policy(policy)
+        candidates = matrix_candidates(spec)
+        ranked = entry.oracle().rank(candidates, NOW)
+        picked = entry.fast().pick(candidates, NOW)
+        if not ranked:
+            assert picked is None
+        else:
+            assert picked is ranked[0]
+
+    @pytest.mark.parametrize("policy", POLICY_NAMES)
+    @given(spec=MATRIX_SPEC)
+    @settings(max_examples=40, deadline=None)
+    def test_blocked_horizon_is_min_blocked_constraint(self, policy, spec):
+        fast = get_policy(policy).fast()
+        candidates = matrix_candidates(spec)
+        _, horizon = fast.pick_with_horizon(candidates, NOW)
+        blocked = [bank.earliest_start(req, NOW)
+                   for req, bank in candidates
+                   if bank.earliest_start(req, NOW) > NOW]
+        assert horizon == (min(blocked) if blocked else None)
+
+
+class TestPolicyMatrixLiveReplay:
+    """Replay random workloads on a live bank for every policy.
+
+    Stateful policies get the controller's ``note_issued`` feedback on
+    both sides, so the oracle's score evolution tracks the fast
+    policy's exactly — the same contract the controller honours.
+    """
+
+    @pytest.mark.parametrize("policy", POLICY_NAMES)
+    @given(spec=LIVE_SPEC)
+    @settings(max_examples=40, deadline=None)
+    def test_pick_matches_oracle_across_issues(self, policy, spec):
+        entry = get_policy(policy)
+        bank, mapper = fresh_bank()
+        pending = []
+        for index, (is_write, row, col) in enumerate(spec):
+            address = mapper.encode(row=row, col=col)
+            req = MemRequest(OpType.WRITE if is_write else OpType.READ,
+                             address, decoded=mapper.decode(address))
+            req.mark_queued(index // 2)
+            pending.append(req)
+
+        fast = entry.fast()
+        oracle = entry.oracle()
+        now = 0
+        guard = 0
+        while pending:
+            guard += 1
+            assert guard < 10_000, "live replay failed to drain"
+            candidates = [(req, bank) for req in pending]
+            ranked = oracle.rank(candidates, now)
+            picked = fast.pick(candidates, now)
+            if not ranked:
+                assert picked is None
+                now += 1
+                continue
+            assert picked is ranked[0]
+            req = picked[0]
+            result = bank.issue(req, now)
+            for sched in (fast, oracle):
+                note = getattr(sched, "note_issued", None)
+                if note is not None:
+                    note(req, bank, result.kind)
+            pending.remove(req)
+            now += 1
+
+
 class TestEndToEndCycleIdentity:
     """The figure sweeps are bit-identical under either implementation."""
 
@@ -208,6 +341,22 @@ class TestEndToEndCycleIdentity:
         fast = run_benchmark(small(make_cfg()), "mcf", 400)
         monkeypatch.setenv("REPRO_SCHEDULER", "reference")
         oracle = run_benchmark(small(make_cfg()), "mcf", 400)
+        assert fast.summary() == oracle.summary()
+        assert fast.cycles == oracle.cycles
+        assert fast.ipc == oracle.ipc
+
+    @pytest.mark.parametrize("policy", POLICY_NAMES)
+    def test_policy_summary_identical_to_oracle(self, policy, monkeypatch):
+        """Per-policy end-to-end identity: default impl vs forced oracle."""
+        def make_cfg():
+            cfg = fgnvm(4, 4)
+            cfg.org.rows_per_bank = 1024
+            return apply_policy(cfg, policy)
+
+        monkeypatch.delenv("REPRO_SCHEDULER", raising=False)
+        fast = run_benchmark(make_cfg(), "mcf", 400)
+        monkeypatch.setenv("REPRO_SCHEDULER", "reference")
+        oracle = run_benchmark(make_cfg(), "mcf", 400)
         assert fast.summary() == oracle.summary()
         assert fast.cycles == oracle.cycles
         assert fast.ipc == oracle.ipc

@@ -47,6 +47,55 @@ class TestRun:
             assert build_config(name).name
 
 
+class TestPolicyFlag:
+    def test_list_shows_policies(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "palp" in out
+        assert "rbla" in out
+        assert "salp-8" in out
+
+    def test_run_with_policy_renames_config(self, capsys):
+        assert main([
+            "run", "--config", "fgnvm-8x2", "--benchmark", "sphinx3",
+            "--requests", "300", "--policy", "palp",
+        ]) == 0
+        assert "fgnvm-8x2+palp" in capsys.readouterr().out
+
+    def test_unknown_policy_lists_roster(self):
+        with pytest.raises(SystemExit, match="palp"):
+            main([
+                "run", "--config", "fgnvm-8x2", "--benchmark", "sphinx3",
+                "--requests", "300", "--policy", "bogus",
+            ])
+
+    def test_incompatible_policy_rejected(self):
+        # PALP needs reads-under-write; the baseline bank forbids them.
+        with pytest.raises(SystemExit, match="reads proceed under"):
+            main([
+                "run", "--config", "baseline", "--benchmark", "sphinx3",
+                "--requests", "300", "--policy", "palp",
+            ])
+
+    def test_sweep_with_policy(self, capsys):
+        assert main([
+            "sweep", "--path", "org.subarray_groups", "--values",
+            "2", "4", "--benchmark", "sphinx3", "--requests", "300",
+            "--policy", "rbla",
+        ]) == 0
+        assert "org.subarray_groups=2" in capsys.readouterr().out
+
+    def test_figure_policies_command(self, capsys):
+        assert main([
+            "figure-policies", "--benchmarks", "mcf", "--requests",
+            "400",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Policy zoo" in out
+        assert "salp" in out
+        assert "gmean" in out
+
+
 class TestTables:
     def test_table1(self, capsys):
         assert main(["table1"]) == 0
