@@ -15,6 +15,14 @@ from .figure5 import (
     render_figure5,
     run_figure5,
 )
+from .figure_blame import (
+    CONFLICT_CAUSES,
+    FigureBlameResult,
+    check_figure_blame_shape,
+    conflict_share,
+    render_figure_blame,
+    run_figure_blame,
+)
 from .figure_policies import (
     FigurePoliciesResult,
     check_figure_policies_shape,
@@ -46,6 +54,12 @@ __all__ = [
     "check_figure5_shape",
     "render_figure5",
     "run_figure5",
+    "CONFLICT_CAUSES",
+    "FigureBlameResult",
+    "check_figure_blame_shape",
+    "conflict_share",
+    "render_figure_blame",
+    "run_figure_blame",
     "FigurePoliciesResult",
     "check_figure_policies_shape",
     "figure_policies_configs",

@@ -6,6 +6,8 @@ Commands:
   summary table,
 * ``figure4`` / ``figure5`` / ``table1`` / ``table2`` / ``headline`` —
   regenerate the paper artifacts,
+* ``blame`` / ``figure-blame`` — request-lifecycle latency-blame
+  decomposition per scheduling policy (why each request waited),
 * ``chaos`` — run a sweep under a seeded fault plan and prove the
   results bit-identical to a fault-free serial run,
 * ``profile`` — attribute the simulator's own wall time to named
@@ -40,6 +42,14 @@ from .obs import (
     make_probe,
 )
 from .obs.inspect import load_events, summarize_events
+from .obs.manifest import JobRecord, RunManifest
+from .obs.trace import (
+    RequestTracer,
+    blame_report,
+    render_blame,
+    seed_from_digest,
+    span_to_events,
+)
 from .obs.perf import (
     COMPARE_METRICS,
     DEFAULT_REL_TOL,
@@ -263,20 +273,80 @@ def _emit_artifacts(args, sink, registry) -> None:
         print(f"wrote metrics to {args.emit_metrics}", file=sys.stderr)
 
 
+def _make_tracer(args, config: SystemConfig) -> "RequestTracer | None":
+    """Build the request tracer ``--trace-sample``/``--trace-out`` ask for.
+
+    Flag validation follows the engine flags' style: bad values raise
+    :class:`ExperimentError` with the offending value spelled out, and
+    an unwritable ``--trace-out`` destination fails before the
+    simulation spends any time.
+    """
+    sample = getattr(args, "trace_sample", None)
+    trace_out = getattr(args, "trace_out", None)
+    if sample is None and not trace_out:
+        return None
+    if sample is None:
+        sample = 1  # --trace-out alone traces every request
+    if sample < 1:
+        raise ExperimentError(
+            f"--trace-sample must be >= 1 (trace every Nth request, "
+            f"1 = all); got {sample}"
+        )
+    if trace_out:
+        out_dir = os.path.dirname(os.path.abspath(trace_out))
+        if not os.path.isdir(out_dir):
+            raise ExperimentError(
+                f"--trace-out directory does not exist: {out_dir}"
+            )
+        if not os.access(out_dir, os.W_OK):
+            raise ExperimentError(
+                f"--trace-out directory is not writable: {out_dir}"
+            )
+    from .sim.parallel import config_digest
+
+    return RequestTracer(
+        sample_every=sample, seed=seed_from_digest(config_digest(config))
+    )
+
+
+def _emit_tracer_artifacts(args, tracer: RequestTracer) -> None:
+    """Print the blame decomposition; export spans when asked."""
+    print()
+    print(render_blame(blame_report(tracer.finished, tracer.queue_full)))
+    trace_out = getattr(args, "trace_out", None)
+    if trace_out:
+        events = [
+            event
+            for span in tracer.finished
+            for event in span_to_events(span)
+        ]
+        count = export_events(events, trace_out)
+        print(
+            f"wrote {count} span/blame events to {trace_out}",
+            file=sys.stderr,
+        )
+
+
 def _cmd_run(args) -> int:
     config = _with_epoch_cycles(
         _with_policy(build_config(args.config), args), args
     )
     probe, sink, registry = _instrumentation(args)
+    tracer = _make_tracer(args, config)
     if args.trace:
-        result = run_trace(config, read_trace(args.trace), probe=probe)
+        result = run_trace(
+            config, read_trace(args.trace), probe=probe, tracer=tracer
+        )
         workload = args.trace
-    elif probe is not None:
-        # Instrumented runs execute in-process: the event stream is the
-        # product, so the result cache/pool must not satisfy the job.
-        registry.begin_run(args.benchmark)
+    elif probe is not None or tracer is not None:
+        # Instrumented runs execute in-process: the event stream (and
+        # the tracer's spans) are the product, so the result cache/pool
+        # must not satisfy the job.
+        if registry is not None:
+            registry.begin_run(args.benchmark)
         result = run_benchmark(
-            config, args.benchmark, args.requests, probe=probe
+            config, args.benchmark, args.requests, probe=probe,
+            tracer=tracer,
         )
         workload = args.benchmark
     else:
@@ -292,6 +362,8 @@ def _cmd_run(args) -> int:
         cpu_ratio = config.cpu.cpu_cycles_per_mem_cycle(config.timing.tck_ns)
         print()
         print(epoch_table(result.epochs, config.sim.epoch_cycles, cpu_ratio))
+    if tracer is not None:
+        _emit_tracer_artifacts(args, tracer)
     return 0
 
 
@@ -382,6 +454,92 @@ def _cmd_figure_policies(args) -> int:
     _report_engine(args, engine)
     print(analysis.render_figure_policies(result))
     problems = analysis.check_figure_policies_shape(result)
+    for problem in problems:
+        print(f"SHAPE VIOLATION: {problem}", file=sys.stderr)
+    return 1 if problems else 0
+
+
+def _cmd_blame(args) -> int:
+    """Per-policy latency-blame decomposition, optionally archived."""
+    from .sim.parallel import CODE_VERSION, config_digest
+
+    if args.requests < 1:
+        raise ExperimentError(
+            f"--requests must be >= 1, got {args.requests}"
+        )
+    if args.sample < 1:
+        raise ExperimentError(
+            f"--sample must be >= 1 (trace every Nth request, 1 = all); "
+            f"got {args.sample}"
+        )
+    out_dir = None
+    if args.out:
+        out_dir = os.path.abspath(args.out)
+        parent = os.path.dirname(out_dir)
+        if not os.path.isdir(parent):
+            raise ExperimentError(
+                f"--out parent directory does not exist: {parent}"
+            )
+    result = analysis.run_figure_blame(
+        args.benchmarks or None,
+        args.requests,
+        sample_every=args.sample,
+        keep_spans=out_dir is not None,
+    )
+    print(analysis.render_figure_blame(result))
+    if out_dir is not None:
+        os.makedirs(out_dir, exist_ok=True)
+        report_path = os.path.join(out_dir, "blame-report.json")
+        with open(report_path, "w", encoding="utf-8") as handle:
+            json.dump(
+                {
+                    "requests": result.requests,
+                    "sample_every": result.sample_every,
+                    "organisations": result.organisations,
+                    "reports": result.reports,
+                },
+                handle, indent=2, sort_keys=True,
+            )
+            handle.write("\n")
+        configs = analysis.figure_policies_configs()
+        manifest = RunManifest(code_version=CODE_VERSION)
+        for (bench, series), (wall_s, cycles, instructions) in sorted(
+            result.jobs.items()
+        ):
+            config = configs[series]
+            manifest.jobs.append(JobRecord(
+                key="", config=config.name,
+                config_digest=config_digest(config), benchmark=bench,
+                requests=result.requests, seed=None, source="simulated",
+                wall_s=round(wall_s, 4), cycles=cycles,
+                instructions=instructions,
+            ))
+            manifest.wall_s += wall_s
+            manifest.busy_s += wall_s
+            manifest.blame[f"{bench}/{series}"] = (
+                result.reports[bench][series]
+            )
+        manifest.write(os.path.join(out_dir, "run-manifest.json"))
+        for (bench, series), spans in sorted(result.spans.items()):
+            span_path = os.path.join(
+                out_dir, f"spans-{bench}-{series}.jsonl"
+            )
+            export_events(
+                [e for span in spans for e in span_to_events(span)],
+                span_path,
+            )
+        print(f"wrote blame report, run manifest and "
+              f"{len(result.spans)} span log(s) to {out_dir}",
+              file=sys.stderr)
+    return 0
+
+
+def _cmd_figure_blame(args) -> int:
+    result = analysis.run_figure_blame(
+        args.benchmarks or None, args.requests, sample_every=args.sample
+    )
+    print(analysis.render_figure_blame(result))
+    problems = analysis.check_figure_blame_shape(result)
     for problem in problems:
         print(f"SHAPE VIOLATION: {problem}", file=sys.stderr)
     return 1 if problems else 0
@@ -517,7 +675,8 @@ def _cmd_inspect(args) -> int:
         summary = summarize_events(load_events(args.trace))
         print(json.dumps(summary, indent=2, sort_keys=True))
         return 0
-    print(inspect_trace(args.trace, timeline_width=args.timeline))
+    print(inspect_trace(args.trace, timeline_width=args.timeline,
+                        blame=args.blame))
     return 0
 
 
@@ -679,6 +838,19 @@ def make_parser() -> argparse.ArgumentParser:
         "--emit-metrics", metavar="PATH",
         help="write the per-tile metric registry summary as JSON",
     )
+    run_p.add_argument(
+        "--trace-sample", type=int, default=None, metavar="N",
+        help="trace every Nth request through the lifecycle tracer "
+             "(1 = all) and print the latency-blame decomposition; "
+             "the sample phase is seeded from the config digest, so "
+             "identical configs sample identical requests",
+    )
+    run_p.add_argument(
+        "--trace-out", metavar="PATH",
+        help="write the sampled request spans and blame segments "
+             "(.jsonl = JSONL event log, anything else = Chrome-trace "
+             "JSON); implies --trace-sample 1 unless given",
+    )
     _add_engine_flags(run_p)
 
     for name in ("figure4", "figure5"):
@@ -725,6 +897,35 @@ def make_parser() -> argparse.ArgumentParser:
     pol_p.add_argument("--benchmarks", nargs="*", default=[])
     pol_p.add_argument("--requests", type=int, default=2500)
     _add_engine_flags(pol_p)
+
+    blame_p = sub.add_parser(
+        "blame",
+        help="per-policy latency-blame decomposition: why each request "
+             "waited (tile conflicts, write drains, scheduling, ...)",
+    )
+    blame_p.add_argument("--benchmarks", nargs="*", default=[])
+    blame_p.add_argument("--requests", type=int, default=2500)
+    blame_p.add_argument(
+        "--sample", type=int, default=1, metavar="N",
+        help="trace every Nth request (default 1 = all)",
+    )
+    blame_p.add_argument(
+        "--out", default=None, metavar="DIR",
+        help="also archive blame-report.json, run-manifest.json and "
+             "per-(benchmark, policy) span logs into DIR",
+    )
+
+    fblame_p = sub.add_parser(
+        "figure-blame",
+        help="blame companion to figure-policies: check that FgNVM's "
+             "speedup comes from conflict blame collapsing",
+    )
+    fblame_p.add_argument("--benchmarks", nargs="*", default=[])
+    fblame_p.add_argument("--requests", type=int, default=2500)
+    fblame_p.add_argument(
+        "--sample", type=int, default=1, metavar="N",
+        help="trace every Nth request (default 1 = all)",
+    )
 
     sub.add_parser("figure3", help="access-scheme timelines (Figure 3)")
     sub.add_parser("table1", help="regenerate Table 1 (area)")
@@ -793,7 +994,12 @@ def make_parser() -> argparse.ArgumentParser:
         "--json", action="store_true",
         help="emit the full summary as machine-readable JSON instead "
              "of the ASCII report (occupancy, Multi-Activation, "
-             "reads-under-write, counters)",
+             "reads-under-write, counters, blame decomposition)",
+    )
+    ins_p.add_argument(
+        "--blame", action="store_true",
+        help="render the full latency-blame decomposition from the "
+             "trace's request spans (repro run --trace-sample)",
     )
 
     prof_p = sub.add_parser(
@@ -869,6 +1075,8 @@ _HANDLERS = {
     "figure4": _cmd_figure4,
     "figure5": _cmd_figure5,
     "figure-policies": _cmd_figure_policies,
+    "blame": _cmd_blame,
+    "figure-blame": _cmd_figure_blame,
     "table1": _cmd_table1,
     "table2": _cmd_table2,
     "headline": _cmd_headline,

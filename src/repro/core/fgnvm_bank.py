@@ -55,6 +55,7 @@ from ..obs.events import (
     Probe,
 )
 from ..obs.perf.profiler import NULL_PROFILER, PH_BANK_ISSUE, PhaseTimer
+from ..obs.trace import BLAME_MULTI_ACT, BLAME_RUW, BLAME_TILE
 from ..units import BITS_PER_BYTE
 from .tile import KIND_SENSE, KIND_WRITE, TileGrid
 
@@ -230,6 +231,61 @@ class FgNvmBank:
         if sag_free > start:
             start = sag_free
         return start
+
+    def stall_blame(self, req: MemRequest) -> Tuple[str, int, str]:
+        """(service kind, earliest-start constraint, blame cause).
+
+        Re-walks :meth:`_constraint` but remembers *which* resource set
+        the binding bound, mapping it onto the blame taxonomy of
+        :mod:`repro.obs.trace`:
+
+        * a CD held by a write (reads only) or a SAG parked by a write
+          pulse → ``read_under_write``,
+        * a CD serialized behind another in-flight sense →
+          ``multi_activation``,
+        * everything else (tCCD column gate, exclusive SAG row change,
+          wordline still settling) → ``tile_busy``.
+
+        Resource kinds persist after their release cycle, which is
+        exactly right here: blame attribution is backward, asking what
+        held the request during an interval that has already passed.
+        Only called for sampled requests, so it is kept simple rather
+        than memoized.
+        """
+        kind = self.classify(req)
+        sag, cds = self._coords(req.decoded)
+        start = self._last_column + self.timing.tccd
+        cause = BLAME_TILE
+        for cd in cds:
+            cd_free = self.grid.cd_free_at(cd)
+            if cd_free > start:
+                start = cd_free
+                cd_kind = self.grid.cd_kind(cd)
+                if cd_kind == KIND_WRITE and req.is_read:
+                    cause = BLAME_RUW
+                elif cd_kind == KIND_SENSE:
+                    cause = BLAME_MULTI_ACT
+                else:
+                    cause = BLAME_TILE
+        if kind == SERVICE_ROW_HIT:
+            return kind, start, cause
+        if kind == SERVICE_UNDERFETCH:
+            write_free = self.grid.sag_write_free_at(sag)
+            if write_free > start:
+                start = write_free
+                cause = BLAME_RUW
+            if self.row_ready[sag] > start:
+                start = self.row_ready[sag]
+                cause = BLAME_TILE
+            return kind, start, cause
+        sag_free = self.grid.sag_free_at(sag)
+        if sag_free > start:
+            start = sag_free
+            if self.grid.sag_kind(sag) == KIND_WRITE and req.is_read:
+                cause = BLAME_RUW
+            else:
+                cause = BLAME_TILE
+        return kind, start, cause
 
     def kind_and_constraint(self, req: MemRequest) -> Tuple[str, int]:
         """Memoized (service kind, earliest-start constraint) for ``req``.

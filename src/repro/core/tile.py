@@ -57,9 +57,19 @@ class TileGrid:
     def cd_free_at(self, cd: int) -> int:
         return self._cd[cd].until
 
+    def cd_kind(self, cd: int) -> str:
+        """Kind of the CD's *latest* occupancy (valid for any cycle
+        before its ``cd_free_at`` release — exactly the window backward
+        blame attribution asks about)."""
+        return self._cd[cd].kind
+
     def sag_free_at(self, sag: int) -> int:
         """When the SAG is fully free (required for row changes/writes)."""
         return self._sag[sag].until
+
+    def sag_kind(self, sag: int) -> str:
+        """Kind of the SAG's latest occupancy (see :meth:`cd_kind`)."""
+        return self._sag[sag].kind
 
     def sag_write_free_at(self, sag: int) -> int:
         """When any in-progress *write* in the SAG completes.

@@ -39,6 +39,15 @@ from ..obs.perf.profiler import (
     PH_QUEUE_ADMIT,
     PhaseTimer,
 )
+from ..obs.trace import (
+    BLAME_DRAIN,
+    BLAME_SCHED,
+    BLAME_WRITE_CAP,
+    NULL_TRACER,
+    RequestSpan,
+    RequestTracer,
+    emit_span,
+)
 from .address import AddressMapper
 from .bank_baseline import build_banks
 from .bus import CommandBus, DataBus
@@ -58,12 +67,14 @@ class MemoryController:
     def __init__(self, config: SystemConfig, stats: StatsCollector,
                  mapper: "AddressMapper | None" = None,
                  channel: int = 0, probe: Probe = NULL_PROBE,
-                 profiler: PhaseTimer = NULL_PROFILER):
+                 profiler: PhaseTimer = NULL_PROFILER,
+                 tracer: RequestTracer = NULL_TRACER):
         self.config = config
         self.stats = stats
         self.channel = channel
         self.probe = probe
         self.profiler = profiler
+        self.tracer = tracer
         self.timing = config.timing.cycles()
         self.mapper = mapper if mapper is not None else AddressMapper(
             config.org
@@ -110,6 +121,10 @@ class MemoryController:
         #: O(pending) part of the event horizon), rebuilt lazily.
         self._min_constraint: Optional[int] = None
         self._minc_dirty = True
+        #: Sampled requests still queued on this channel, awaiting
+        #: blame attribution; empty whenever the tracer is disabled, so
+        #: hot paths may guard on truthiness alone.
+        self._traced: "dict[int, Tuple[MemRequest, RequestSpan]]" = {}
 
     # -- admission ----------------------------------------------------------
 
@@ -139,6 +154,8 @@ class MemoryController:
                 EV_QUEUE_STALL, now, op=op.value, channel=self.channel,
                 value=depth,
             ))
+        if self.tracer.enabled:
+            self.tracer.on_queue_full(op.value)
         return False
 
     def has_space(self, op: OpType, address: int = 0) -> bool:
@@ -162,6 +179,9 @@ class MemoryController:
     def _enqueue(self, req: MemRequest, now: int) -> None:
         if req.decoded is None:
             req.decoded = self.mapper.decode(req.address)
+        span = (
+            self.tracer.on_admit(req, now) if self.tracer.enabled else None
+        )
         if self.probe.enabled:
             self.probe.emit(Event(
                 EV_ENQUEUE, now, req_id=req.req_id, op=req.op.value,
@@ -186,10 +206,14 @@ class MemoryController:
                 heapq.heappush(
                     self._completions, (done, req.req_id, req)
                 )
+                if span is not None:
+                    self.tracer.on_forward(span, now, done)
                 return
             self.read_queue.push(req, now)
         else:
             self.write_queue.push(req, now)
+        if span is not None:
+            self._traced[req.req_id] = (req, span)
         self._quiet_until = 0
         self._minc_dirty = True
 
@@ -230,6 +254,10 @@ class MemoryController:
                     service=req.service_kind, channel=self.channel,
                     value=req.latency,
                 ))
+            if self.tracer.enabled:
+                span = self.tracer.finish(req)
+                if span is not None and self.probe.enabled:
+                    emit_span(self.probe, span)
             done.append(req)
         return done
 
@@ -246,6 +274,12 @@ class MemoryController:
             # A previous pass proved no candidate can become issuable
             # before this cycle, and nothing has changed since.
             return
+        if self._traced:
+            # Close traced requests' waiting intervals *before* this
+            # pass can issue anything: bank state still describes the
+            # interval being attributed, and a request issued below
+            # then starts its service segment at exactly ``now``.
+            self._blame_pass(now, draining)
         if not self._incremental:
             for _ in range(self.config.controller.issue_width):
                 candidate = self._next_candidate(now, draining)
@@ -279,6 +313,38 @@ class MemoryController:
             self._quiet_until = (
                 blocked_min if blocked_min is not None else _FAR_FUTURE
             )
+
+    def _blame_pass(self, now: int, draining: bool) -> None:
+        """Backward blame attribution for every traced queued request.
+
+        For each sampled request the interval since its last
+        observation splits at the bank's now-independent earliest-start
+        constraint: below it the binding bank resource is to blame
+        (:meth:`FgNvmBank.stall_blame`); at or above it the request was
+        issuable, so the wait belongs to the controller — the write
+        throttle, the read/write phase policy, or plain scheduler
+        ordering / issue-slot contention.
+        """
+        tracer = self.tracer
+        banks = self.banks
+        cap = self._write_cap
+        eager = self.config.controller.eager_writes
+        for req, span in self._traced.values():
+            if span.last >= now:
+                continue
+            bank = banks[req.decoded.flat_bank]
+            _, constraint, bank_cause = bank.stall_blame(req)
+            if req.is_write and cap is not None \
+                    and bank.active_writes(now) >= cap:
+                policy_cause = BLAME_WRITE_CAP
+            elif req.is_read and draining:
+                policy_cause = BLAME_DRAIN
+            elif req.is_write and not draining and not eager \
+                    and not self.read_queue.is_empty:
+                policy_cause = BLAME_DRAIN
+            else:
+                policy_cause = BLAME_SCHED
+            tracer.on_wait(span, now, constraint, bank_cause, policy_cause)
 
     def _next_candidate(self, now: int, draining: bool
                         ) -> Optional[Candidate]:
@@ -374,6 +440,13 @@ class MemoryController:
             heapq.heappush(
                 self._completions, (completion, req.req_id, req)
             )
+            if self._traced:
+                entry = self._traced.pop(req.req_id, None)
+                if entry is not None:
+                    self.tracer.on_issue_read(
+                        entry[1], now, result.kind,
+                        result.bus_desired_start, bus_start, completion,
+                    )
         else:
             # Write data crosses the bus after tCWD; the cell write then
             # proceeds inside the bank.  The request is done (from the
@@ -386,6 +459,12 @@ class MemoryController:
             heapq.heappush(
                 self._completions, (result.data_ready, req.req_id, req)
             )
+            if self._traced:
+                entry = self._traced.pop(req.req_id, None)
+                if entry is not None:
+                    self.tracer.on_issue_write(
+                        entry[1], now, result.kind, result.data_ready
+                    )
 
     # -- progress queries ------------------------------------------------------
 

@@ -32,6 +32,15 @@ EV_COMPLETE = "complete"        #: read data delivered (value = latency)
 EV_CPU_STALL = "cpu_stall"      #: CPU made no progress (service = reason)
 EV_RUN_END = "run_end"          #: simulation finished (value = instructions)
 
+#: Request-lifecycle tracing kinds published by the sampled request
+#: tracer (:mod:`repro.obs.trace`).  A ``span`` covers one sampled
+#: request from queue admission (``cycle``) to completion (``end``)
+#: with ``value`` = latency; each ``blame`` event is one contiguous
+#: slice of that span with ``service`` naming the blame cause and
+#: ``value`` the slice length.
+EV_SPAN = "span"                #: one sampled request, admission..completion
+EV_BLAME = "blame"              #: one cause-attributed slice of a span
+
 #: Resilience-layer kinds published by the fault-tolerant experiment
 #: engine (:mod:`repro.resilience`).  These describe the *harness*, not
 #: the simulated machine, so ``cycle`` carries the batch job index and
@@ -45,6 +54,7 @@ EV_DEGRADED = "degraded"        #: engine fell back to serial execution
 EVENT_KINDS = (
     EV_ENQUEUE, EV_ISSUE, EV_SENSE, EV_WRITE_PULSE, EV_QUEUE_STALL,
     EV_DRAIN, EV_COMPLETE, EV_CPU_STALL, EV_RUN_END,
+    EV_SPAN, EV_BLAME,
     EV_FAULT, EV_RETRY, EV_QUARANTINE, EV_POOL_REBUILD, EV_DEGRADED,
 )
 

@@ -12,6 +12,14 @@ Two durable formats for the structured event stream:
   complete ("X") slices for tile occupancy and instant events for
   queue stalls and drain transitions.  Timestamps are memory cycles
   (1 cycle = 1 "us" in the viewer's units).
+
+Sampled request spans (:mod:`repro.obs.trace`) get their own
+``ch<N>/requests`` process per channel: one ``span`` lane holding each
+request's admission..completion slice, and one lane per blame cause
+holding the attributed sub-slices — so a Perfetto view shows, stacked
+under every slow request, exactly which resource each waited cycle is
+blamed on.  Tile lanes are untouched by tracing: their count and
+labels stay pinned per bank organisation.
 """
 
 from __future__ import annotations
@@ -24,9 +32,11 @@ from typing import Dict, Iterable, List, TextIO
 
 from ..errors import ReproError
 from .events import (
+    EV_BLAME,
     EV_DRAIN,
     EV_ISSUE,
     EV_QUEUE_STALL,
+    EV_SPAN,
     EVENT_DEFAULTS,
     Event,
     EventSink,
@@ -119,6 +129,36 @@ def chrome_trace(events: Iterable[Event]) -> Dict[str, object]:
     trace: List[Dict[str, object]] = []
     pids: Dict[tuple, int] = {}
     tids: Dict[tuple, int] = {}
+    req_pids: Dict[int, int] = {}
+    req_tids: Dict[tuple, int] = {}
+
+    def req_pid_for(channel: int) -> int:
+        """Per-channel request-span process, separate from bank pids."""
+        if channel not in req_pids:
+            # Request processes sort after every bank process: bank pids
+            # are small positive ints, so offset far above them.
+            req_pids[channel] = 1000 + max(channel, 0)
+            trace.append({
+                "ph": "M", "name": "process_name",
+                "pid": req_pids[channel],
+                "args": {"name": f"ch{max(channel, 0)}/requests"},
+            })
+        return req_pids[channel]
+
+    def req_tid_for(pid: int, lane: str) -> int:
+        key = (pid, lane)
+        if key not in req_tids:
+            # Lane 0 is the span lane; blame-cause lanes follow in
+            # first-seen order (spans are emitted before their slices).
+            tid = 0 if lane == "span" else len(
+                [k for k in req_tids if k[0] == pid]
+            )
+            req_tids[key] = tid
+            trace.append({
+                "ph": "M", "name": "thread_name", "pid": pid, "tid": tid,
+                "args": {"name": lane},
+            })
+        return req_tids[key]
 
     def pid_for(channel: int, bank: int) -> int:
         key = (channel, bank)
@@ -166,6 +206,26 @@ def chrome_trace(events: Iterable[Event]) -> Dict[str, object]:
                 "ts": event.cycle,
                 "dur": max(1, event.duration),
                 "args": {"req_id": event.req_id, "service": event.service},
+            })
+        elif event.kind in (EV_SPAN, EV_BLAME):
+            pid = req_pid_for(event.channel)
+            lane = "span" if event.kind == EV_SPAN else event.service
+            trace.append({
+                "ph": "X",
+                "name": (
+                    f"req{event.req_id}:{event.service}"
+                    if event.kind == EV_SPAN else event.service
+                ),
+                "cat": event.op or "req",
+                "pid": pid,
+                "tid": req_tid_for(pid, lane),
+                "ts": event.cycle,
+                "dur": max(1, event.duration),
+                "args": {
+                    "req_id": event.req_id,
+                    "bank": event.bank,
+                    "cycles": event.value,
+                },
             })
         elif event.kind in (EV_QUEUE_STALL, EV_DRAIN):
             pid = pid_for(event.channel, 0)

@@ -19,6 +19,7 @@ from ..errors import ReproError
 from .events import EV_ISSUE, Event, tile_events
 from .export import read_events_jsonl
 from .registry import MetricRegistry
+from .trace import blame_report, render_blame, spans_from_events
 
 
 def load_events(path: "str | os.PathLike[str]") -> List[Event]:
@@ -98,7 +99,7 @@ def summarize_events(events: List[Event]) -> Dict[str, object]:
         }
         for key, tile in sorted(run.tiles.items())
     }
-    return {
+    summary = {
         "events": len(events),
         "event_kinds": dict(sorted(kinds.items())),
         "span_cycles": span,
@@ -113,11 +114,19 @@ def summarize_events(events: List[Event]) -> Dict[str, object]:
         "drains_started": run.drains_started,
         "totals": run.as_dict(),
     }
+    # Sampled request spans ride in the same trace file; when present
+    # the blame decomposition is part of the summary (so ``--json``
+    # carries the new event kinds instead of dropping them).
+    request_spans = spans_from_events(events)
+    if request_spans:
+        summary["blame"] = blame_report(request_spans)
+    return summary
 
 
 def render_inspection(summary: Dict[str, object],
                       events: Optional[List[Event]] = None,
-                      timeline_width: int = 0) -> str:
+                      timeline_width: int = 0,
+                      blame: bool = False) -> str:
     """Human-readable inspection report (plus an optional timeline)."""
     lines = [
         f"events: {summary['events']} "
@@ -151,6 +160,20 @@ def render_inspection(summary: Dict[str, object],
         f"  write-queue-full events: {summary['write_queue_full_events']}",
         f"  write drains started:    {summary['drains_started']}",
     ]
+    report = summary.get("blame")
+    if report is not None:
+        if blame:
+            lines += ["", render_blame(report)]
+        else:
+            lines += [
+                "",
+                f"request spans: {report['spans']} sampled "
+                f"(mean latency {report['mean_latency']} cy; "
+                f"--blame for the full decomposition)",
+            ]
+    elif blame:
+        lines += ["", "latency blame: no request spans in this trace "
+                      "(record one with repro run --trace-sample)"]
     if timeline_width and events:
         from ..sim.timeline import render_timeline
 
@@ -161,9 +184,10 @@ def render_inspection(summary: Dict[str, object],
 
 
 def inspect_trace(path: "str | os.PathLike[str]",
-                  timeline_width: int = 0) -> str:
+                  timeline_width: int = 0,
+                  blame: bool = False) -> str:
     """Load, summarize and render a trace file in one call."""
     events = load_events(path)
     return render_inspection(
-        summarize_events(events), events, timeline_width
+        summarize_events(events), events, timeline_width, blame=blame
     )

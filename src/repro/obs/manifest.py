@@ -69,6 +69,10 @@ class RunManifest:
     #: True when the run was interrupted (SIGINT) and this manifest
     #: records the partial results flushed on the way out.
     interrupted: bool = False
+    #: Latency-blame decomposition reports keyed however the producer
+    #: organises them (``repro blame`` folds one report per
+    #: (benchmark, policy) cell).  Empty for untraced runs.
+    blame: Dict[str, object] = field(default_factory=dict)
     jobs: List[JobRecord] = field(default_factory=list)
 
     @property

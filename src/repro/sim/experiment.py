@@ -20,6 +20,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 from ..config.params import SystemConfig
 from ..obs.events import Probe
 from ..obs.perf.profiler import PH_TRACE_DECODE, PhaseTimer
+from ..obs.trace import RequestTracer
 from ..workloads.record import TraceRecord
 from ..workloads.spec_profiles import get_profile
 from ..workloads.tracegen import generate_trace
@@ -33,9 +34,11 @@ DEFAULT_REQUESTS = 20_000
 
 def run_trace(config: SystemConfig, trace: Iterable[TraceRecord],
               probe: "Probe | None" = None,
-              profiler: "PhaseTimer | None" = None) -> SimResult:
+              profiler: "PhaseTimer | None" = None,
+              tracer: "RequestTracer | None" = None) -> SimResult:
     """Simulate an explicit trace on one configuration."""
-    return simulate(config, trace, probe=probe, profiler=profiler)
+    return simulate(config, trace, probe=probe, profiler=profiler,
+                    tracer=tracer)
 
 
 def run_benchmark(
@@ -45,6 +48,7 @@ def run_benchmark(
     seed: Optional[int] = None,
     probe: "Probe | None" = None,
     profiler: "PhaseTimer | None" = None,
+    tracer: "RequestTracer | None" = None,
 ) -> SimResult:
     """Simulate one named benchmark profile on one configuration.
 
@@ -60,7 +64,8 @@ def run_benchmark(
             trace = generate_trace(profile, requests)
     else:
         trace = generate_trace(profile, requests)
-    return simulate(config, trace, probe=probe, profiler=profiler)
+    return simulate(config, trace, probe=probe, profiler=profiler,
+                    tracer=tracer)
 
 
 def prefetch_jobs(runner, jobs: "Sequence[tuple]",

@@ -33,6 +33,7 @@ from ..cpu.trace_cpu import TraceCpu
 from ..errors import SimulationError
 from ..memsys.stats import StatsCollector
 from ..obs.events import EV_RUN_END, NULL_PROBE, Event, Probe
+from ..obs.trace import NULL_TRACER, RequestTracer
 from ..obs.perf.profiler import (
     NULL_PROFILER,
     PH_CLOCK,
@@ -79,14 +80,17 @@ class Simulator:
 
     def __init__(self, config: SystemConfig, trace: Iterable[TraceRecord],
                  probe: "Probe | None" = None,
-                 profiler: "PhaseTimer | None" = None):
+                 profiler: "PhaseTimer | None" = None,
+                 tracer: "RequestTracer | None" = None):
         validate_config(config)
         self.config = config
         self.stats = StatsCollector()
         self.probe = probe if probe is not None else NULL_PROBE
         self.profiler = profiler if profiler is not None else NULL_PROFILER
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.controller = MemorySystem(config, self.stats, probe=self.probe,
-                                       profiler=self.profiler)
+                                       profiler=self.profiler,
+                                       tracer=self.tracer)
         self.cpu = TraceCpu(
             config.cpu,
             trace,
@@ -255,6 +259,9 @@ class Simulator:
 
 def simulate(config: SystemConfig, trace: Iterable[TraceRecord],
              probe: "Probe | None" = None,
-             profiler: "PhaseTimer | None" = None) -> SimResult:
+             profiler: "PhaseTimer | None" = None,
+             tracer: "RequestTracer | None" = None) -> SimResult:
     """Build and run a simulator in one call (the common entry point)."""
-    return Simulator(config, trace, probe=probe, profiler=profiler).run()
+    return Simulator(
+        config, trace, probe=probe, profiler=profiler, tracer=tracer
+    ).run()

@@ -7,22 +7,26 @@ bit-identical to the seed behaviour, and that even a fully-subscribed
 run produces the identical architectural results.
 """
 
+import os
+
 import pytest
 
 from repro.config import baseline_nvm, fgnvm
 from repro.obs import ListSink, MetricRegistry, make_probe
 from repro.obs.events import NULL_PROBE
 from repro.obs.perf import NULL_PROFILER, PhaseTimer
+from repro.obs.trace import NULL_TRACER, RequestTracer
 from repro.sim.simulator import simulate
 from repro.workloads import generate_trace, get_profile
 
 
 def run(config_builder, probe=None, benchmark="mcf", requests=700,
-        profiler=None):
+        profiler=None, tracer=None):
     cfg = config_builder()
     cfg.org.rows_per_bank = 256
     trace = generate_trace(get_profile(benchmark), requests)
-    return simulate(cfg, trace, probe=probe, profiler=profiler)
+    return simulate(cfg, trace, probe=probe, profiler=profiler,
+                    tracer=tracer)
 
 
 @pytest.mark.parametrize("builder", [
@@ -58,6 +62,24 @@ class TestNoBehaviourChange:
         assert timer.total_s > 0
         assert "controller.tick" in timer.stats
 
+    def test_no_tracer_equals_null_tracer(self, builder):
+        plain = run(builder, tracer=None)
+        nulled = run(builder, tracer=NULL_TRACER)
+        assert plain.summary() == nulled.summary()
+
+    def test_enabled_tracer_is_bit_identical(self, builder):
+        """Tracing is pure observation: sampling every request may cost
+        wall time but can never change what the machine does."""
+        plain = run(builder, tracer=None)
+        tracer = RequestTracer(sample_every=1, seed=0)
+        traced = run(builder, tracer=tracer)
+        assert plain.summary() == traced.summary()
+        assert plain.cycles == traced.cycles
+        assert plain.ipc == traced.ipc
+        # ... and the tracer actually followed the run.
+        assert tracer.finished
+        assert all(span.check() == [] for span in tracer.finished)
+
 
 class TestNoAllocationWhenDisabled:
     def test_null_probe_is_shared_singleton(self):
@@ -90,3 +112,60 @@ class TestNoAllocationWhenDisabled:
         result = run(lambda: fgnvm(4, 4), profiler=timer, requests=200)
         assert result.cycles > 0
         assert timer.stats == {}
+
+    def test_null_tracer_is_shared_singleton(self):
+        from repro.memsys.controller import MemoryController
+        from repro.memsys.stats import StatsCollector
+
+        cfg = baseline_nvm()
+        cfg.org.rows_per_bank = 256
+        ctrl = MemoryController(cfg, StatsCollector())
+        assert ctrl.tracer is NULL_TRACER
+
+    def test_disabled_tracer_records_nothing(self):
+        """The disabled tracer's span store stays empty — the hot-path
+        ``if self._traced:`` guards therefore never enter blame code."""
+        result = run(lambda: fgnvm(4, 4), tracer=NULL_TRACER, requests=200)
+        assert result.cycles > 0
+        assert NULL_TRACER.finished == []
+        assert NULL_TRACER.active == {}
+
+
+@pytest.mark.skipif(
+    not os.environ.get("REPRO_OVERHEAD_GATE"),
+    reason="overhead-budget gate is CI-only (REPRO_OVERHEAD_GATE=1)",
+)
+class TestOverheadBudget:
+    def test_sampled_tracing_costs_at_most_five_percent(self):
+        """The bounded-overhead contract, measured: 1-in-N sampling is
+        the mechanism that bounds tracer cost, and at the documented
+        profiling rate (1-in-50) the smoke benchmark performs at most
+        5% more work than untraced.  (Tracing *every* request runs the
+        per-cycle blame pass over the whole queue and costs ~2x — a
+        deep-dive mode, documented in docs/observability.md, not the
+        bounded path.)
+
+        Overhead is measured as the total Python-call count under
+        cProfile, not wall time: the simulation is deterministic, so
+        the count is exactly reproducible and immune to the CPU
+        frequency drift that makes 5%-resolution wall-clock asserts
+        flaky on shared CI runners — and every cycle the tracer adds
+        is a function call, so added calls *are* the added cost.
+        """
+        import cProfile
+        import pstats
+
+        def total_calls(tracer):
+            profile = cProfile.Profile()
+            profile.enable()
+            result = run(lambda: fgnvm(8, 2), requests=2000, tracer=tracer)
+            profile.disable()
+            assert result.cycles > 0
+            return pstats.Stats(profile).total_calls
+
+        plain = total_calls(None)
+        traced = total_calls(RequestTracer(sample_every=50, seed=0))
+        assert traced <= plain * 1.05, (
+            f"tracer-enabled run made {traced} calls vs {plain} untraced "
+            f"({traced / plain - 1:+.2%}, budget +5%)"
+        )

@@ -390,6 +390,146 @@ class TestInstrumentation:
         assert payload["totals"]["reads"] > 0
 
 
+class TestTracing:
+    RUN = [
+        "run", "--config", "fgnvm-8x2", "--benchmark", "sphinx3",
+        "--requests", "300",
+    ]
+
+    def test_trace_sample_prints_blame(self, capsys):
+        assert main(self.RUN + ["--trace-sample", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "latency blame" in out
+        assert "service" in out
+        assert "p95+ tail" in out
+
+    def test_trace_out_writes_span_events(self, tmp_path, capsys):
+        path = tmp_path / "spans.jsonl"
+        assert main(self.RUN + ["--trace-out", str(path)]) == 0
+        from repro.obs import read_events_jsonl
+
+        events = read_events_jsonl(path)
+        assert any(e.kind == "span" for e in events)
+        assert any(e.kind == "blame" for e in events)
+
+    def test_traced_summary_matches_plain_run(self, capsys):
+        """Tracing is pure observation end-to-end through the CLI."""
+        assert main(self.RUN) == 0
+        plain = capsys.readouterr().out
+        assert main(self.RUN + ["--trace-sample", "1"]) == 0
+        traced = capsys.readouterr().out
+        assert traced.startswith(plain.rstrip("\n"))
+
+    def test_trace_sample_rejects_non_positive(self):
+        with pytest.raises(SystemExit, match="--trace-sample must be >= 1"):
+            main(self.RUN + ["--trace-sample", "0"])
+
+    def test_trace_out_rejects_missing_directory(self, tmp_path):
+        with pytest.raises(SystemExit, match="directory does not exist"):
+            main(self.RUN + [
+                "--trace-out", str(tmp_path / "absent" / "spans.jsonl"),
+            ])
+
+    def test_inspect_blame_renders_decomposition(self, tmp_path, capsys):
+        path = tmp_path / "spans.jsonl"
+        assert main(self.RUN + [
+            "--trace-sample", "2", "--trace-out", str(path),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["inspect", str(path), "--blame"]) == 0
+        out = capsys.readouterr().out
+        assert "latency blame" in out
+        assert "service" in out
+
+    def test_inspect_hints_at_blame_without_flag(self, tmp_path, capsys):
+        path = tmp_path / "events.jsonl"
+        assert main(self.RUN + [
+            "--trace-sample", "2", "--emit-trace", str(path),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["inspect", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "request spans:" in out
+        assert "--blame for the full decomposition" in out
+
+    def test_inspect_blame_without_spans_explains(self, tmp_path, capsys):
+        path = tmp_path / "events.jsonl"
+        assert main(self.RUN + ["--emit-trace", str(path)]) == 0
+        capsys.readouterr()
+        assert main(["inspect", str(path), "--blame"]) == 0
+        out = capsys.readouterr().out
+        assert "no request spans in this trace" in out
+
+    def test_inspect_json_carries_blame_report(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "events.jsonl"
+        assert main(self.RUN + [
+            "--trace-sample", "2", "--emit-trace", str(path),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["inspect", str(path), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["blame"]["spans"] > 0
+        assert payload["blame"]["unattributed_cycles"] == 0
+        assert payload["event_kinds"]["span"] == payload["blame"]["spans"]
+
+
+class TestBlameCommand:
+    def test_blame_prints_decomposition(self, capsys):
+        assert main([
+            "blame", "--benchmarks", "mcf", "--requests", "400",
+            "--sample", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Latency blame" in out
+        assert "conflict-blame share" in out
+        for series in ("baseline", "fgnvm", "palp", "salp"):
+            assert series in out
+
+    def test_blame_out_archives_artifacts(self, tmp_path, capsys):
+        import json
+
+        out_dir = tmp_path / "artifacts"
+        assert main([
+            "blame", "--benchmarks", "mcf", "--requests", "400",
+            "--sample", "2", "--out", str(out_dir),
+        ]) == 0
+        report = json.loads((out_dir / "blame-report.json").read_text())
+        assert set(report["reports"]["mcf"]) == {
+            "baseline", "fgnvm", "palp", "salp",
+        }
+        manifest = json.loads((out_dir / "run-manifest.json").read_text())
+        assert manifest["schema"] == "repro-run-manifest-v1"
+        assert len(manifest["jobs"]) == 4
+        assert manifest["blame"]["mcf/fgnvm"]["spans"] > 0
+        assert all(job["config_digest"] for job in manifest["jobs"])
+        from repro.obs import read_events_jsonl
+
+        spans = read_events_jsonl(out_dir / "spans-mcf-fgnvm.jsonl")
+        assert any(e.kind == "span" for e in spans)
+
+    def test_blame_rejects_bad_sample(self):
+        with pytest.raises(SystemExit, match="--sample must be >= 1"):
+            main(["blame", "--sample", "0"])
+
+    def test_blame_rejects_missing_out_parent(self, tmp_path):
+        with pytest.raises(SystemExit, match="parent directory"):
+            main([
+                "blame", "--requests", "200",
+                "--out", str(tmp_path / "a" / "b" / "c"),
+            ])
+
+    def test_figure_blame_command(self, capsys):
+        assert main([
+            "figure-blame", "--benchmarks", "mcf", "--requests", "400",
+            "--sample", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Latency blame" in out
+        assert "organisations" in out
+
+
 class TestProfile:
     def test_profile_prints_phase_table(self, capsys):
         assert main([
