@@ -23,6 +23,13 @@ from .figure_blame import (
     render_figure_blame,
     run_figure_blame,
 )
+from .figure_degradation import (
+    FigureDegradationResult,
+    check_figure_degradation_shape,
+    figure_degradation_configs,
+    render_figure_degradation,
+    run_figure_degradation,
+)
 from .figure_policies import (
     FigurePoliciesResult,
     check_figure_policies_shape,
@@ -60,6 +67,11 @@ __all__ = [
     "conflict_share",
     "render_figure_blame",
     "run_figure_blame",
+    "FigureDegradationResult",
+    "check_figure_degradation_shape",
+    "figure_degradation_configs",
+    "render_figure_degradation",
+    "run_figure_degradation",
     "FigurePoliciesResult",
     "check_figure_policies_shape",
     "figure_policies_configs",

@@ -8,8 +8,11 @@ Commands:
   regenerate the paper artifacts,
 * ``blame`` / ``figure-blame`` — request-lifecycle latency-blame
   decomposition per scheduling policy (why each request waited),
+* ``figure-degradation`` — graceful-degradation sweep: IPC retention
+  per organisation under write-verify faults and seeded tile kills,
 * ``chaos`` — run a sweep under a seeded fault plan and prove the
-  results bit-identical to a fault-free serial run,
+  results bit-identical to a fault-free serial run (``--device-faults``
+  composes a seeded device-level fault plan on top),
 * ``profile`` — attribute the simulator's own wall time to named
   phases (CPU tick, controller scheduling, bank issue, ...),
 * ``perf record`` / ``perf compare`` — write the ``BENCH_PERF.json``
@@ -68,8 +71,10 @@ from .config import (
     fgnvm_per_sag_buffers,
     many_banks,
     salp,
+    with_reliability,
 )
 from .memsys.policies import apply_policy, policy_names
+from .memsys.reliability import DeviceFaultPlan
 from .resilience import (
     FaultPlan,
     ResilientEngine,
@@ -252,6 +257,83 @@ def _with_epoch_cycles(config: SystemConfig, args) -> SystemConfig:
     )
 
 
+def _with_reliability(config: SystemConfig, args) -> SystemConfig:
+    """Apply the ``--write-fail-prob``/``--device-kills`` family.
+
+    No reliability flag set leaves the config untouched: the fault
+    model stays off and the run is bit-identical to one without these
+    flags.  Bad values fail fast with the offending value spelled out,
+    in the same style as the engine flags.
+    """
+    prob = getattr(args, "write_fail_prob", 0.0) or 0.0
+    retries = getattr(args, "write_retries", None)
+    endurance = getattr(args, "endurance", None)
+    spares = getattr(args, "spare_tiles", None)
+    rotate = getattr(args, "wear_rotate_every", None)
+    seed = getattr(args, "reliability_seed", 0) or 0
+    kills = getattr(args, "device_kills", 0) or 0
+    if not 0.0 <= prob <= 1.0:
+        raise ExperimentError(
+            f"--write-fail-prob must be in [0, 1], got {prob}"
+        )
+    if retries is not None and retries < 1:
+        raise ExperimentError(
+            f"--write-retries must be >= 1, got {retries}"
+        )
+    if spares is not None and spares < 1:
+        raise ExperimentError(
+            f"--spare-tiles must be >= 1, got {spares}"
+        )
+    if endurance is not None and endurance < 1:
+        raise ExperimentError(
+            f"--endurance must be >= 1 write per tile, got {endurance}"
+        )
+    if rotate is not None and rotate < 1:
+        raise ExperimentError(
+            f"--wear-rotate-every must be >= 1 write, got {rotate}"
+        )
+    if seed < 0:
+        raise ExperimentError(
+            f"--reliability-seed must be >= 0, got {seed}"
+        )
+    if kills < 0:
+        raise ExperimentError(
+            f"--device-kills must be >= 0, got {kills}"
+        )
+    if not (prob or endurance is not None or rotate is not None or kills):
+        return config
+    retries = 3 if retries is None else retries
+    spares = 1 if spares is None else spares
+    plan = None
+    if kills:
+        plan = _seeded_kill_plan(config, seed, kills)
+    return with_reliability(
+        config,
+        write_fail_prob=prob,
+        max_write_retries=retries,
+        endurance_writes=endurance,
+        spare_tiles=spares,
+        wear_rotate_every=rotate,
+        seed=seed,
+        fault_plan=plan,
+    )
+
+
+def _seeded_kill_plan(config: SystemConfig, seed: int,
+                      kills: int) -> DeviceFaultPlan:
+    """A kill plan sized to the config's own bank geometry."""
+    org = config.org
+    return DeviceFaultPlan.seeded(
+        seed=seed,
+        kills=kills,
+        banks=org.ranks_per_channel * org.banks_per_rank,
+        subarray_groups=org.subarray_groups,
+        column_divisions=org.column_divisions,
+        # Low thresholds so the kills fire within short CLI runs.
+        after_writes=8,
+    )
+
+
 def _instrumentation(args):
     """(probe, sink, registry) when ``--emit-*`` asked for events."""
     if not (getattr(args, "emit_trace", None)
@@ -328,8 +410,11 @@ def _emit_tracer_artifacts(args, tracer: RequestTracer) -> None:
 
 
 def _cmd_run(args) -> int:
-    config = _with_epoch_cycles(
-        _with_policy(build_config(args.config), args), args
+    config = _with_reliability(
+        _with_epoch_cycles(
+            _with_policy(build_config(args.config), args), args
+        ),
+        args,
     )
     probe, sink, registry = _instrumentation(args)
     tracer = _make_tracer(args, config)
@@ -454,6 +539,19 @@ def _cmd_figure_policies(args) -> int:
     _report_engine(args, engine)
     print(analysis.render_figure_policies(result))
     problems = analysis.check_figure_policies_shape(result)
+    for problem in problems:
+        print(f"SHAPE VIOLATION: {problem}", file=sys.stderr)
+    return 1 if problems else 0
+
+
+def _cmd_figure_degradation(args) -> int:
+    engine = _make_engine(args)
+    result = analysis.run_figure_degradation(
+        args.benchmarks or None, args.requests, engine=engine
+    )
+    _report_engine(args, engine)
+    print(analysis.render_figure_degradation(result))
+    problems = analysis.check_figure_degradation_shape(result)
     for problem in problems:
         print(f"SHAPE VIOLATION: {problem}", file=sys.stderr)
     return 1 if problems else 0
@@ -591,13 +689,60 @@ def _cmd_reproduce(args) -> int:
     return 0 if manifest.clean else 1
 
 
+def _device_faulted_chaos_config(config: SystemConfig,
+                                 args) -> SystemConfig:
+    """Compose engine-level chaos with a seeded device fault plan.
+
+    The returned config kills ``--device-faults`` tiles and fails write
+    verifies; the whole chaos batch then runs on it, so crashes,
+    retries and cache round-trips are proven not to perturb the seeded
+    device fault draws.  Before returning, fault-free mode is asserted
+    bit-identical to the plain config: carrying a *disabled*
+    reliability block must not change a single counter.
+    """
+    plan = _seeded_kill_plan(config, args.seed, args.device_faults)
+    print(plan.describe())
+    faulted = with_reliability(
+        config,
+        write_fail_prob=0.05,
+        max_write_retries=8,
+        seed=args.seed,
+        fault_plan=plan,
+        name=f"{config.name}+device-faults",
+    )
+    disabled = dataclasses.replace(
+        faulted,
+        name=config.name,
+        reliability=dataclasses.replace(
+            faulted.reliability, enabled=False
+        ),
+    )
+    clean = run_benchmark(config, args.benchmark, args.requests).summary()
+    carried = run_benchmark(
+        disabled, args.benchmark, args.requests
+    ).summary()
+    if clean != carried:
+        raise ExperimentError(
+            "fault-free mode is not bit-identical to the plain config: "
+            "a disabled reliability block changed the results"
+        )
+    print("fault-free mode: bit-identical to the plain config")
+    return faulted
+
+
 def _cmd_chaos(args) -> int:
     """Prove fault tolerance: chaos run bit-identical to a clean one."""
     import tempfile
 
     if args.jobs < 1:
         raise ExperimentError(f"--jobs must be >= 1, got {args.jobs}")
+    if args.device_faults < 0:
+        raise ExperimentError(
+            f"--device-faults must be >= 0, got {args.device_faults}"
+        )
     config = build_config(args.config)
+    if args.device_faults:
+        config = _device_faulted_chaos_config(config, args)
     jobs = [
         ExperimentJob(config, args.benchmark, args.requests, seed=seed)
         for seed in range(args.jobs)
@@ -851,6 +996,41 @@ def make_parser() -> argparse.ArgumentParser:
              "(.jsonl = JSONL event log, anything else = Chrome-trace "
              "JSON); implies --trace-sample 1 unless given",
     )
+    rel_g = run_p.add_argument_group(
+        "device reliability (any flag enables the seeded fault model; "
+        "see docs/resilience.md)"
+    )
+    rel_g.add_argument(
+        "--write-fail-prob", type=float, default=0.0, metavar="P",
+        help="per-pulse write-verify failure probability in [0, 1]",
+    )
+    rel_g.add_argument(
+        "--write-retries", type=int, default=None, metavar="N",
+        help="verify-retry budget per write (default 3)",
+    )
+    rel_g.add_argument(
+        "--endurance", type=int, default=None, metavar="WRITES",
+        help="per-tile endurance: retire a tile after this many write "
+             "pulses (default: unlimited)",
+    )
+    rel_g.add_argument(
+        "--spare-tiles", type=int, default=None, metavar="N",
+        help="spare tiles per bank consumed before remapping "
+             "(default 1)",
+    )
+    rel_g.add_argument(
+        "--wear-rotate-every", type=int, default=None, metavar="WRITES",
+        help="issue one background wear-leveling migration per N "
+             "demand writes per bank (default: off)",
+    )
+    rel_g.add_argument(
+        "--reliability-seed", type=int, default=0, metavar="SEED",
+        help="seed for the deterministic fault draws (default 0)",
+    )
+    rel_g.add_argument(
+        "--device-kills", type=int, default=0, metavar="N",
+        help="kill N seeded tiles across the config's banks",
+    )
     _add_engine_flags(run_p)
 
     for name in ("figure4", "figure5"):
@@ -897,6 +1077,16 @@ def make_parser() -> argparse.ArgumentParser:
     pol_p.add_argument("--benchmarks", nargs="*", default=[])
     pol_p.add_argument("--requests", type=int, default=2500)
     _add_engine_flags(pol_p)
+
+    deg_p = sub.add_parser(
+        "figure-degradation",
+        help="graceful-degradation sweep: per-organisation IPC "
+             "retention under write-verify faults and seeded tile "
+             "kills",
+    )
+    deg_p.add_argument("--benchmarks", nargs="*", default=[])
+    deg_p.add_argument("--requests", type=int, default=2500)
+    _add_engine_flags(deg_p)
 
     blame_p = sub.add_parser(
         "blame",
@@ -978,6 +1168,13 @@ def make_parser() -> argparse.ArgumentParser:
                          help="per-job wall-clock budget (required for "
                               "--hangs to be survivable)")
     chaos_p.add_argument("--retries", type=int, default=3, metavar="N")
+    chaos_p.add_argument(
+        "--device-faults", type=int, default=0, metavar="N",
+        help="also kill N seeded tiles (plus 5%% write-verify "
+             "failures) and run the whole batch on the faulted "
+             "config; fault-free mode is first asserted bit-identical "
+             "to the plain config",
+    )
     chaos_p.add_argument("--cache-dir", default=None,
                          help="cache/journal directory (default: fresh "
                               "temp dir)")
@@ -1075,6 +1272,7 @@ _HANDLERS = {
     "figure4": _cmd_figure4,
     "figure5": _cmd_figure5,
     "figure-policies": _cmd_figure_policies,
+    "figure-degradation": _cmd_figure_degradation,
     "blame": _cmd_blame,
     "figure-blame": _cmd_figure_blame,
     "table1": _cmd_table1,

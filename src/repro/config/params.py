@@ -299,6 +299,52 @@ class SimParams:
 
 
 @dataclass
+class ReliabilityParams:
+    """Device-level fault model knobs (off by default).
+
+    Models what perfect-cell simulation hides: PCM writes need
+    verify-and-retry, cells wear out with finite endurance, and worn
+    (or failed) tiles must be retired onto spares.  Everything here is
+    inert while :attr:`enabled` is False — a disabled config runs the
+    exact same code paths as one with no reliability block at all, so
+    the default figures stay bit-identical.
+
+    All randomness is a pure function of (:attr:`seed`, bank, tile,
+    per-tile write index, attempt) via a counter-mode hash — no hidden
+    RNG state — which is what keeps seeded runs deterministic across
+    serial, pooled and cached engine paths.
+    """
+
+    #: Master switch; when False every other knob is ignored.
+    enabled: bool = False
+    #: Per-pulse probability that a write fails verify and re-pulses.
+    write_fail_prob: float = 0.0
+    #: Retry budget: extra pulses allowed after the initial write pulse.
+    #: A write whose verify still fails with the budget exhausted counts
+    #: as a verify failure (data is kept; ECC is out of scope here).
+    max_write_retries: int = 3
+    #: Per-tile endurance threshold (writes absorbed before the tile is
+    #: retired).  ``None`` models unlimited endurance.
+    endurance_writes: "int | None" = None
+    #: Spare tiles available per bank; a retirement consumes a spare
+    #: in place (coordinates unchanged) until the pool runs dry, after
+    #: which dead tiles are remapped onto surviving neighbours and the
+    #: effective SAG x CD parallelism shrinks.
+    spare_tiles: int = 1
+    #: Start-gap-style wear-leveling cadence: every N demand writes the
+    #: bank issues one background row-migration command that competes
+    #: with demand traffic (Chang et al. idiom).  ``None`` disables
+    #: rotation.
+    wear_rotate_every: "int | None" = None
+    #: Seed for the verify-failure draws and the fault-plan composition.
+    seed: int = 0
+    #: Optional :class:`repro.memsys.reliability.DeviceFaultPlan`
+    #: scripting tile kills (typed loosely to avoid a config->memsys
+    #: import cycle; validation checks the real type lazily).
+    fault_plan: "object | None" = None
+
+
+@dataclass
 class SystemConfig:
     """Top-level bundle: everything needed to build and run one system."""
 
@@ -309,6 +355,7 @@ class SystemConfig:
     controller: ControllerParams = field(default_factory=ControllerParams)
     cpu: CpuParams = field(default_factory=CpuParams)
     sim: SimParams = field(default_factory=SimParams)
+    reliability: ReliabilityParams = field(default_factory=ReliabilityParams)
 
     def copy(self, **overrides) -> "SystemConfig":
         """Deep-copy this config, applying top-level field overrides.
@@ -324,6 +371,7 @@ class SystemConfig:
             controller=dataclasses.replace(self.controller),
             cpu=dataclasses.replace(self.cpu),
             sim=dataclasses.replace(self.sim),
+            reliability=dataclasses.replace(self.reliability),
         )
         for key, value in overrides.items():
             if not hasattr(dup, key):

@@ -21,6 +21,7 @@ from .params import (
     CpuParams,
     EnergyParams,
     OrgParams,
+    ReliabilityParams,
     SchedulerKind,
     SimParams,
     SystemConfig,
@@ -211,6 +212,40 @@ def fgnvm_per_sag_buffers(
     cfg = fgnvm(subarray_groups, column_divisions)
     cfg.name = f"fgnvm-{subarray_groups}x{column_divisions}-sagbuf"
     cfg.org.per_sag_row_buffers = True
+    return validate_config(cfg)
+
+
+def with_reliability(
+    config: SystemConfig,
+    write_fail_prob: float = 0.0,
+    max_write_retries: int = 3,
+    endurance_writes: "int | None" = None,
+    spare_tiles: int = 1,
+    wear_rotate_every: "int | None" = None,
+    seed: int = 0,
+    fault_plan=None,
+    name: "str | None" = None,
+) -> SystemConfig:
+    """A copy of ``config`` with the device-level fault model enabled.
+
+    Renames the config (``<base>+rel`` by default) so reliability
+    variants get their own cache keys next to the clean preset —
+    the same convention ``--policy`` uses.  ``fault_plan`` is a
+    :class:`repro.memsys.reliability.DeviceFaultPlan`, passed through
+    opaquely to keep this module free of memsys imports.
+    """
+    cfg = config.copy()
+    cfg.reliability = ReliabilityParams(
+        enabled=True,
+        write_fail_prob=write_fail_prob,
+        max_write_retries=max_write_retries,
+        endurance_writes=endurance_writes,
+        spare_tiles=spare_tiles,
+        wear_rotate_every=wear_rotate_every,
+        seed=seed,
+        fault_plan=fault_plan,
+    )
+    cfg.name = name if name is not None else f"{config.name}+rel"
     return validate_config(cfg)
 
 

@@ -126,6 +126,11 @@ def validation_errors(config: SystemConfig) -> List[str]:
     from ..memsys.policies import policy_validation_problems
 
     problems.extend(policy_validation_problems(config))
+
+    # Same lazy pattern for the device-level reliability block.
+    from ..memsys.reliability import reliability_validation_problems
+
+    problems.extend(reliability_validation_problems(config))
     return problems
 
 

@@ -48,16 +48,19 @@ from ..memsys.request import (
 from ..memsys.stats import StatsCollector
 from ..obs.events import (
     EV_ISSUE,
+    EV_MAINT,
     EV_SENSE,
+    EV_TILE_RETIRED,
     EV_WRITE_PULSE,
+    EV_WRITE_RETRY,
     NULL_PROBE,
     Event,
     Probe,
 )
 from ..obs.perf.profiler import NULL_PROFILER, PH_BANK_ISSUE, PhaseTimer
-from ..obs.trace import BLAME_MULTI_ACT, BLAME_RUW, BLAME_TILE
+from ..obs.trace import BLAME_MAINT, BLAME_MULTI_ACT, BLAME_RUW, BLAME_TILE
 from ..units import BITS_PER_BYTE
-from .tile import KIND_SENSE, KIND_WRITE, TileGrid
+from .tile import KIND_MAINT, KIND_SENSE, KIND_WRITE, TileGrid
 
 
 @dataclass(frozen=True)
@@ -67,12 +70,17 @@ class IssueResult:
     ``bus_desired_start`` is when the data transfer would like the data
     bus (the controller may push it later under contention) and
     ``data_ready`` is the completion cycle *before* bus arbitration.
+    ``retry_cycles`` is how many of the occupancy's cycles were spent
+    re-pulsing a write whose verify failed (0 for reads and for
+    first-pulse-clean writes) — the tracer attributes them to the
+    ``write_retry`` blame cause.
     """
 
     kind: str
     bus_desired_start: int
     data_ready: int
     occupies_until: int
+    retry_cycles: int = 0
 
 
 class FgNvmBank:
@@ -95,6 +103,7 @@ class FgNvmBank:
         probe: Probe = NULL_PROBE,
         channel: int = 0,
         profiler: PhaseTimer = NULL_PROFILER,
+        reliability: "object | None" = None,
     ):
         self.bank_id = bank_id
         self.subarray_groups = subarray_groups
@@ -141,6 +150,12 @@ class FgNvmBank:
         #: Close-page policy: drop the wordline and invalidate the
         #: touched buffer slices after every access.
         self.close_page = close_page
+        #: Device fault model (:class:`repro.memsys.reliability
+        #: .BankReliability`) or None when disabled.  Guarded with
+        #: ``if self.reliability is not None`` on the hot path — the
+        #: NULL-object pattern the probe/tracer use — so reliability-off
+        #: runs execute the identical instruction stream.
+        self.reliability = reliability
         #: Last cycle a column command was accepted (tCCD spacing).
         self._last_column = -(10**9)
         #: Scheduling memo: (is_write, row, sag, cd) -> (kind, constraint).
@@ -243,6 +258,8 @@ class FgNvmBank:
           pulse → ``read_under_write``,
         * a CD serialized behind another in-flight sense →
           ``multi_activation``,
+        * a CD or SAG held by a background wear-leveling migration →
+          ``maintenance``,
         * everything else (tCCD column gate, exclusive SAG row change,
           wordline still settling) → ``tile_busy``.
 
@@ -265,6 +282,8 @@ class FgNvmBank:
                     cause = BLAME_RUW
                 elif cd_kind == KIND_SENSE:
                     cause = BLAME_MULTI_ACT
+                elif cd_kind == KIND_MAINT:
+                    cause = BLAME_MAINT
                 else:
                     cause = BLAME_TILE
         if kind == SERVICE_ROW_HIT:
@@ -281,8 +300,11 @@ class FgNvmBank:
         sag_free = self.grid.sag_free_at(sag)
         if sag_free > start:
             start = sag_free
-            if self.grid.sag_kind(sag) == KIND_WRITE and req.is_read:
+            sag_kind = self.grid.sag_kind(sag)
+            if sag_kind == KIND_WRITE and req.is_read:
                 cause = BLAME_RUW
+            elif sag_kind == KIND_MAINT:
+                cause = BLAME_MAINT
             else:
                 cause = BLAME_TILE
         return kind, start, cause
@@ -410,8 +432,20 @@ class FgNvmBank:
             return IssueResult(kind, bus_start, bus_start + t.tburst, until)
 
         # Writes: SERVICE_WRITE (wordline already up) or SERVICE_WRITE_MISS.
+        rel = self.reliability
+        retries = 0
+        retry_cycles = 0
+        exhausted = False
+        if rel is not None:
+            # Verify-and-retry: each failed verify re-pulses the cells,
+            # extending the tile occupancy by a pulse + recovery (the
+            # data is already at the drivers, so no extra tCWD).
+            retries, exhausted = rel.draw_retries(sag, cds[0])
+            if retries:
+                retry_cycles = retries * (t.twp + t.twr)
+                self.stats.count_write_retry(retries, exhausted)
         activation = t.trcd if kind == SERVICE_WRITE_MISS else 0
-        duration = activation + t.write_occupancy
+        duration = activation + t.write_occupancy + retry_cycles
         until = now + duration
         for cd in cds:
             self.grid.occupy_cd(cd, now, duration, KIND_WRITE)
@@ -442,19 +476,34 @@ class FgNvmBank:
                 self.stats.count_sense(self.sense_bits * len(cds), 0, 0)
                 self._note_sense(req, kind, now, until, sag, cds[0],
                                  self.sense_bits * len(cds), 0, 0)
+        # Retry pulses re-drive the full line, so they cost write energy.
+        pulsed_bits = self.write_bits * (1 + retries)
         self.stats.count_write_issue(
-            self.write_bits, overlapping_reads + overlapping_writes
+            pulsed_bits, overlapping_reads + overlapping_writes
         )
         if self.probe.enabled:
             self.probe.emit(Event(
                 EV_WRITE_PULSE, now, end=until, req_id=req.req_id,
                 op=req.op.value, service=kind, channel=self.channel,
                 bank=self.bank_id, sag=sag, cd=cds[0],
-                bits=self.write_bits, overlap_reads=overlapping_reads,
+                bits=pulsed_bits, overlap_reads=overlapping_reads,
                 overlap_writes=overlapping_writes,
             ))
+            if retries:
+                self.probe.emit(Event(
+                    EV_WRITE_RETRY, now, end=until, req_id=req.req_id,
+                    op=req.op.value, service=kind, channel=self.channel,
+                    bank=self.bank_id, sag=sag, cd=cds[0],
+                    bits=self.write_bits * retries, value=retries,
+                ))
+        if rel is not None:
+            self._account_wear(rel.record_write(sag, cds, retries), now)
+            worn = max(rel.wear.get((sag, cd), 0) for cd in cds)
+            self.stats.note_tile_wear(worn)
+            if rel.maintenance_due():
+                self._run_maintenance(rel, now)
         bus_start = now + activation + t.tcwd
-        return IssueResult(kind, bus_start, until, until)
+        return IssueResult(kind, bus_start, until, until, retry_cycles)
 
     # -- instrumentation -------------------------------------------------------
 
@@ -492,6 +541,62 @@ class FgNvmBank:
                 overlap_writes=overlapping_writes,
             ))
 
+    # -- device reliability ----------------------------------------------------
+
+    def _account_wear(self, retirements, now: int) -> None:
+        """Fold retirement events into stats and the event bus."""
+        for sag, cd, spare_used in retirements:
+            self.stats.count_retirement(spare_used)
+            if self.probe.enabled:
+                self.probe.emit(Event(
+                    EV_TILE_RETIRED, now, channel=self.channel,
+                    bank=self.bank_id, sag=sag, cd=cd,
+                    value=1 if spare_used else 0,
+                ))
+
+    def _run_maintenance(self, rel, now: int) -> None:
+        """Issue one background wear-leveling row migration.
+
+        The start-gap pointer's tile is read out and rewritten
+        elsewhere in the array: an activation plus a write pulse that
+        holds the tile's CD and SAG exactly like a demand write —
+        scheduled at the resources' next free cycle, so it *competes*
+        with queued demand traffic rather than preempting it.  The
+        migrated row's wordline and buffer slice are invalidated
+        (the data moved).  Called only from inside :meth:`issue`, which
+        is what keeps the scheduling memo contract intact.
+        """
+        tile = rel.next_rotation_tile()
+        if tile is None:
+            return
+        m_sag, m_cd = tile
+        t = self.timing
+        duration = t.trcd + t.twp + t.twr
+        start = now
+        cd_free = self.grid.cd_free_at(m_cd)
+        if cd_free > start:
+            start = cd_free
+        sag_free = self.grid.sag_free_at(m_sag)
+        if sag_free > start:
+            start = sag_free
+        self.grid.occupy_cd(m_cd, start, duration, KIND_MAINT)
+        self.grid.occupy_sag_exclusive(m_sag, start, duration, KIND_MAINT)
+        self.open_row[m_sag] = None
+        self.buffer_tag[m_cd] = None
+        if self.per_sag_buffers:
+            self._sag_buffer[m_sag][m_cd] = None
+        self.stats.count_maintenance(duration)
+        event = rel.record_maintenance(m_sag, m_cd)
+        if event is not None:
+            self._account_wear([event], now)
+        self.stats.note_tile_wear(rel.wear.get((m_sag, m_cd), 0))
+        if self.probe.enabled:
+            self.probe.emit(Event(
+                EV_MAINT, start, end=start + duration, service="migration",
+                channel=self.channel, bank=self.bank_id, sag=m_sag,
+                cd=m_cd, value=duration,
+            ))
+
     def active_writes(self, now: int) -> int:
         """Writes currently driving cells in this bank (throttle query)."""
         return sum(
@@ -521,13 +626,22 @@ class FgNvmBank:
         already folded SAG/CD into the flat bank index, and the unit
         itself is 1x1 — modulo keeps the same code path working for
         every architecture.
+
+        When the fault model has retired tiles, the (SAG, base CD) pair
+        is remapped onto its surviving target first — the mechanism
+        that shrinks effective parallelism gracefully instead of
+        crashing on a dead tile.
         """
+        sag = dec.sag % self.subarray_groups
         base = dec.cd % self.column_divisions
+        rel = self.reliability
+        if rel is not None and rel.remap:
+            sag, base = rel.resolve(sag, base)
         cds = tuple(
             (base + offset) % self.column_divisions
             for offset in range(self.cd_span)
         )
-        return (dec.sag % self.subarray_groups, cds)
+        return (sag, cds)
 
     def open_rows(self) -> List[Optional[int]]:
         """Snapshot of per-SAG open rows (tests and debugging)."""
@@ -539,8 +653,17 @@ def make_fgnvm_bank(
     org,
     timing: TimingCycles,
     stats: StatsCollector,
+    reliability: "object | None" = None,
 ) -> FgNvmBank:
-    """Build an FgNVM bank from an :class:`~repro.config.OrgParams`."""
+    """Build an FgNVM bank from an :class:`~repro.config.OrgParams`.
+
+    ``reliability`` is the system's
+    :class:`~repro.config.params.ReliabilityParams` (or None); each
+    bank gets its own :class:`~repro.memsys.reliability.BankReliability`
+    state when the model is enabled.
+    """
+    from ..memsys.reliability import make_bank_reliability
+
     sense_bits = org.bytes_per_cd * BITS_PER_BYTE
     write_bits = org.cacheline_bytes * BITS_PER_BYTE
     return FgNvmBank(
@@ -553,4 +676,8 @@ def make_fgnvm_bank(
         stats=stats,
         cd_span=org.cd_span,
         per_sag_buffers=org.per_sag_row_buffers,
+        reliability=make_bank_reliability(
+            reliability, bank_id, org.subarray_groups,
+            org.column_divisions,
+        ),
     )

@@ -26,6 +26,10 @@ from typing import List, Optional, Tuple
 KIND_IDLE = ""
 KIND_SENSE = "sense"
 KIND_WRITE = "write"
+#: Background wear-leveling row migration (device maintenance): holds
+#: its tile exactly like a write but is issued by the bank itself, not
+#: the controller — demand traffic competes with it for the resources.
+KIND_MAINT = "maint"
 
 
 class _Occupancy:

@@ -34,6 +34,13 @@ from .policies import (
     resolve_scheduler,
     unregister_policy,
 )
+from .reliability import (
+    BankReliability,
+    DeviceFaultPlan,
+    DeviceFaultSpec,
+    make_bank_reliability,
+    reliability_validation_problems,
+)
 from .scheduler import (
     FcfsScheduler,
     FrfcfsScheduler,
@@ -76,6 +83,11 @@ __all__ = [
     "registered_policies",
     "resolve_scheduler",
     "unregister_policy",
+    "BankReliability",
+    "DeviceFaultPlan",
+    "DeviceFaultSpec",
+    "make_bank_reliability",
+    "reliability_validation_problems",
     "FcfsScheduler",
     "FrfcfsScheduler",
     "IncrementalFcfs",

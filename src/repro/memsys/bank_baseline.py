@@ -25,11 +25,17 @@ instantiates it.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
-from ..config.params import BankArchitecture, OrgParams, TimingCycles
+from ..config.params import (
+    BankArchitecture,
+    OrgParams,
+    ReliabilityParams,
+    TimingCycles,
+)
 from ..core.fgnvm_bank import FgNvmBank, make_fgnvm_bank
 from ..units import BITS_PER_BYTE
+from .reliability import make_bank_reliability
 from .stats import StatsCollector
 
 
@@ -43,6 +49,7 @@ class BaselineNvmBank(FgNvmBank):
         row_size_bytes: int,
         cacheline_bytes: int,
         stats: StatsCollector,
+        reliability: "object | None" = None,
     ):
         super().__init__(
             bank_id=bank_id,
@@ -53,19 +60,33 @@ class BaselineNvmBank(FgNvmBank):
             write_bits=cacheline_bytes * BITS_PER_BYTE,
             stats=stats,
             sense_on_write_activate=True,
+            reliability=reliability,
         )
 
 
 def build_banks(
-    org: OrgParams, timing: TimingCycles, stats: StatsCollector
+    org: OrgParams, timing: TimingCycles, stats: StatsCollector,
+    reliability: Optional[ReliabilityParams] = None,
 ) -> List[FgNvmBank]:
     """Instantiate one *channel's* bank list for any architecture.
 
     The returned list is indexed by ``DecodedAddress.flat_bank`` (which
     folds rank and bank — and SAG/CD for MANY_BANKS — but not channel;
     each channel's controller owns its own list).
+
+    ``reliability`` (the system's
+    :class:`~repro.config.params.ReliabilityParams`) threads the device
+    fault model into every bank of every architecture: a baseline or
+    many-banks unit is a 1x1 tile grid, so verify-retry applies in
+    full while retirement can only consume spares (the last surviving
+    tile is never retired) — which is exactly what makes the
+    degradation comparison between organisations fair.
     """
     channel_banks = org.ranks_per_channel * org.banks_per_rank
+
+    def bank_rel(bank_id: int, sags: int, cds: int):
+        return make_bank_reliability(reliability, bank_id, sags, cds)
+
     if org.architecture is BankArchitecture.BASELINE:
         return [
             BaselineNvmBank(
@@ -74,12 +95,14 @@ def build_banks(
                 org.row_size_bytes,
                 org.cacheline_bytes,
                 stats,
+                reliability=bank_rel(bank_id, 1, 1),
             )
             for bank_id in range(channel_banks)
         ]
     if org.architecture is BankArchitecture.FGNVM:
         return [
-            make_fgnvm_bank(bank_id, org, timing, stats)
+            make_fgnvm_bank(bank_id, org, timing, stats,
+                            reliability=reliability)
             for bank_id in range(channel_banks)
         ]
     if org.architecture is BankArchitecture.SALP:
@@ -96,6 +119,7 @@ def build_banks(
                 write_bits=org.cacheline_bytes * BITS_PER_BYTE,
                 stats=stats,
                 sense_on_write_activate=True,
+                reliability=bank_rel(bank_id, org.subarray_groups, 1),
             )
             for bank_id in range(channel_banks)
         ]
@@ -111,6 +135,7 @@ def build_banks(
             unit_row_bytes,
             org.cacheline_bytes,
             stats,
+            reliability=bank_rel(bank_id, 1, 1),
         )
         for bank_id in range(units)
     ]

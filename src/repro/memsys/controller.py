@@ -79,7 +79,8 @@ class MemoryController:
         self.mapper = mapper if mapper is not None else AddressMapper(
             config.org
         )
-        self.banks = build_banks(config.org, self.timing, stats)
+        self.banks = build_banks(config.org, self.timing, stats,
+                                 reliability=config.reliability)
         for bank in self.banks:
             bank.probe = probe
             bank.profiler = profiler
@@ -463,7 +464,8 @@ class MemoryController:
                 entry = self._traced.pop(req.req_id, None)
                 if entry is not None:
                     self.tracer.on_issue_write(
-                        entry[1], now, result.kind, result.data_ready
+                        entry[1], now, result.kind, result.data_ready,
+                        result.retry_cycles,
                     )
 
     # -- progress queries ------------------------------------------------------

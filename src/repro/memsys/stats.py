@@ -80,6 +80,16 @@ class StatsCollector:
     write_queue_full_events: int = 0
     write_drain_entries: int = 0
 
+    # Device reliability (repro.memsys.reliability; all zero when the
+    # fault model is disabled).
+    write_retries: int = 0
+    write_verify_failures: int = 0
+    maintenance_ops: int = 0
+    maintenance_cycles: int = 0
+    tiles_retired: int = 0
+    spares_consumed: int = 0
+    max_tile_wear: int = 0
+
     # Progress.
     cycles: int = 0
     instructions: int = 0
@@ -119,6 +129,28 @@ class StatsCollector:
         self.write_bits += bits
         if overlapping:
             self.writes_overlapped += 1
+
+    def count_write_retry(self, retries: int, exhausted: bool) -> None:
+        """Verify-retry pulses for one write (device fault model)."""
+        self.write_retries += retries
+        if exhausted:
+            self.write_verify_failures += 1
+
+    def count_maintenance(self, cycles: int) -> None:
+        """One background wear-leveling migration holding its tile."""
+        self.maintenance_ops += 1
+        self.maintenance_cycles += cycles
+
+    def count_retirement(self, spare_used: bool) -> None:
+        """One tile retired (spare swap or remap onto a survivor)."""
+        self.tiles_retired += 1
+        if spare_used:
+            self.spares_consumed += 1
+
+    def note_tile_wear(self, wear: int) -> None:
+        """Track the most-worn tile seen across the system's banks."""
+        if wear > self.max_tile_wear:
+            self.max_tile_wear = wear
 
     def count_read_latency(self, latency: int) -> None:
         self.read_latency_sum += latency
@@ -182,6 +214,13 @@ class StatsCollector:
             "read_queue_full_events": self.read_queue_full_events,
             "write_queue_full_events": self.write_queue_full_events,
             "write_drain_entries": self.write_drain_entries,
+            "write_retries": self.write_retries,
+            "write_verify_failures": self.write_verify_failures,
+            "maintenance_ops": self.maintenance_ops,
+            "maintenance_cycles": self.maintenance_cycles,
+            "tiles_retired": self.tiles_retired,
+            "spares_consumed": self.spares_consumed,
+            "max_tile_wear": self.max_tile_wear,
         }
         for edge, count in zip(LATENCY_BUCKETS, self.latency_histogram):
             label = "inf" if edge == LATENCY_BUCKETS[-1] else str(edge)

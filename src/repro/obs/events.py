@@ -51,11 +51,23 @@ EV_QUARANTINE = "quarantine"    #: corrupt cache blob moved aside
 EV_POOL_REBUILD = "pool_rebuild"  #: broken/hung worker pool replaced
 EV_DEGRADED = "degraded"        #: engine fell back to serial execution
 
+#: Device-reliability kinds published by the bank's fault model
+#: (:mod:`repro.memsys.reliability`).  ``write_retry`` rides on the
+#: write pulse it extends (``value`` = extra pulses, ``bits`` = extra
+#: bits driven); ``maintenance`` is a background wear-leveling row
+#: migration occupying its tile like a write; ``tile_retired`` marks a
+#: (SAG, CD) tile leaving service (``value`` 1 = spare swapped in at
+#: the same coordinates, 0 = remapped onto a surviving tile).
+EV_WRITE_RETRY = "write_retry"  #: verify failed, write re-pulsed
+EV_MAINT = "maintenance"        #: background wear-leveling migration
+EV_TILE_RETIRED = "tile_retired"  #: tile retired (spare or remap)
+
 EVENT_KINDS = (
     EV_ENQUEUE, EV_ISSUE, EV_SENSE, EV_WRITE_PULSE, EV_QUEUE_STALL,
     EV_DRAIN, EV_COMPLETE, EV_CPU_STALL, EV_RUN_END,
     EV_SPAN, EV_BLAME,
     EV_FAULT, EV_RETRY, EV_QUARANTINE, EV_POOL_REBUILD, EV_DEGRADED,
+    EV_WRITE_RETRY, EV_MAINT, EV_TILE_RETIRED,
 )
 
 

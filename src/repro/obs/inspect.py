@@ -16,7 +16,14 @@ from pathlib import Path
 from typing import Dict, List, Optional
 
 from ..errors import ReproError
-from .events import EV_ISSUE, Event, tile_events
+from .events import (
+    EV_ISSUE,
+    EV_MAINT,
+    EV_TILE_RETIRED,
+    EV_WRITE_RETRY,
+    Event,
+    tile_events,
+)
 from .export import read_events_jsonl
 from .registry import MetricRegistry
 from .trace import blame_report, render_blame, spans_from_events
@@ -114,6 +121,9 @@ def summarize_events(events: List[Event]) -> Dict[str, object]:
         "drains_started": run.drains_started,
         "totals": run.as_dict(),
     }
+    reliability = _reliability_summary(events)
+    if reliability:
+        summary["reliability"] = reliability
     # Sampled request spans ride in the same trace file; when present
     # the blame decomposition is part of the summary (so ``--json``
     # carries the new event kinds instead of dropping them).
@@ -121,6 +131,34 @@ def summarize_events(events: List[Event]) -> Dict[str, object]:
     if request_spans:
         summary["blame"] = blame_report(request_spans)
     return summary
+
+
+def _reliability_summary(events: List[Event]) -> Dict[str, int]:
+    """Device fault-model counters rebuilt from the event stream.
+
+    Empty (and omitted from the report) for traces recorded with the
+    reliability model off — the common case stays byte-identical.
+    """
+    counters = {
+        "write_retries": 0, "writes_retried": 0,
+        "maintenance_ops": 0, "maintenance_cycles": 0,
+        "tiles_retired": 0, "spares_consumed": 0,
+    }
+    seen = False
+    for event in events:
+        if event.kind == EV_WRITE_RETRY:
+            counters["write_retries"] += event.value
+            counters["writes_retried"] += 1
+            seen = True
+        elif event.kind == EV_MAINT:
+            counters["maintenance_ops"] += 1
+            counters["maintenance_cycles"] += event.end - event.cycle
+            seen = True
+        elif event.kind == EV_TILE_RETIRED:
+            counters["tiles_retired"] += 1
+            counters["spares_consumed"] += 1 if event.value else 0
+            seen = True
+    return counters if seen else {}
 
 
 def render_inspection(summary: Dict[str, object],
@@ -160,6 +198,18 @@ def render_inspection(summary: Dict[str, object],
         f"  write-queue-full events: {summary['write_queue_full_events']}",
         f"  write drains started:    {summary['drains_started']}",
     ]
+    reliability = summary.get("reliability")
+    if reliability:
+        lines += [
+            "",
+            "device reliability:",
+            f"  write retries:        {reliability['write_retries']} "
+            f"(over {reliability['writes_retried']} writes)",
+            f"  maintenance:          {reliability['maintenance_ops']} ops, "
+            f"{reliability['maintenance_cycles']} cy",
+            f"  tiles retired:        {reliability['tiles_retired']} "
+            f"({reliability['spares_consumed']} onto spares)",
+        ]
     report = summary.get("blame")
     if report is not None:
         if blame:

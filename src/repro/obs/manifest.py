@@ -66,6 +66,11 @@ class RunManifest:
     #: blobs, pool rebuilds, ...) — how dirty the run was.  Empty for
     #: the plain engine; populated by :mod:`repro.resilience`.
     resilience: Dict[str, int] = field(default_factory=dict)
+    #: Device-level reliability counters summed over every job's result
+    #: (write retries, retired tiles, maintenance ops, ...;
+    #: :mod:`repro.memsys.reliability`).  Empty when no job ran with the
+    #: fault model enabled.
+    reliability: Dict[str, int] = field(default_factory=dict)
     #: True when the run was interrupted (SIGINT) and this manifest
     #: records the partial results flushed on the way out.
     interrupted: bool = False

@@ -27,6 +27,11 @@ cause                     the request waited because ...
                           issue-width/command-bus slots ran out
 ``bus_conflict``          its data transfer was pushed back by data-bus
                           contention
+``write_retry``           its own write pulses failed verify and had to be
+                          re-issued (device-level verify-and-retry; see
+                          :mod:`repro.memsys.reliability`)
+``maintenance``           a background wear-leveling row migration held its
+                          tile's SAG or CD resources
 ``service``               useful work: commands, sensing, burst transfer
 ========================  ==================================================
 
@@ -66,11 +71,14 @@ BLAME_WRITE_CAP = "write_cap"
 BLAME_DRAIN = "drain_phase"
 BLAME_SCHED = "sched_order"
 BLAME_BUS = "bus_conflict"
+BLAME_WRITE_RETRY = "write_retry"
+BLAME_MAINT = "maintenance"
 BLAME_SERVICE = "service"
 
 BLAME_CAUSES = (
     BLAME_TILE, BLAME_RUW, BLAME_MULTI_ACT, BLAME_WRITE_CAP,
-    BLAME_DRAIN, BLAME_SCHED, BLAME_BUS, BLAME_SERVICE,
+    BLAME_DRAIN, BLAME_SCHED, BLAME_BUS, BLAME_WRITE_RETRY,
+    BLAME_MAINT, BLAME_SERVICE,
 )
 
 #: Pre-admission backpressure is not a span cause — a request only
@@ -244,9 +252,16 @@ class RequestTracer:
         span.completion = completion
 
     def on_issue_write(self, span: RequestSpan, now: int, kind: str,
-                       completion: int) -> None:
+                       completion: int, retry_cycles: int = 0) -> None:
+        """Write service, with any verify-retry re-pulses attributed to
+        their own cause.  The retry slice is placed *before* the final
+        service fill so every span still ends in ``service`` — the base
+        write occupancy is strictly positive, so the retry slice can
+        never swallow the whole interval."""
         span.issue = now
         span.service = kind
+        if retry_cycles > 0:
+            span.fill(span.last + retry_cycles, BLAME_WRITE_RETRY)
         span.fill(completion, BLAME_SERVICE)
         span.completion = completion
 

@@ -48,7 +48,7 @@ from .simulator import SimResult, simulate
 #: Bumped whenever a change to the simulator/bank models alters results;
 #: part of every cache key so a stale cache can never satisfy a job that
 #: newer code would simulate differently.
-CODE_VERSION = "fgnvm-sim-1"
+CODE_VERSION = "fgnvm-sim-2"
 
 #: Default cache directory (overridable per engine or via
 #: ``REPRO_CACHE_DIR``).
@@ -425,6 +425,10 @@ class ParallelExperimentEngine:
         self._memory: Dict[str, SimResult] = {}
         #: Per-job provenance across every batch this engine has run.
         self.records: List[JobRecord] = []
+        #: Device reliability counters summed over every job served
+        #: (cache hits included — the counters describe the results the
+        #: caller received, not just fresh simulations).
+        self.reliability_totals: Dict[str, int] = {}
         self._wall_s = 0.0
         self._busy_s = 0.0
         #: Keys already persisted during the current batch (lets a
@@ -590,8 +594,21 @@ class ParallelExperimentEngine:
             self._report(done, total, started)
             yield timed
 
+    #: Stats counters folded into :attr:`reliability_totals` per job.
+    RELIABILITY_COUNTERS = (
+        "write_retries", "write_verify_failures", "maintenance_ops",
+        "maintenance_cycles", "tiles_retired", "spares_consumed",
+    )
+
     def _record(self, job: ExperimentJob, key: str, source: str,
                 wall_s: float, result: "SimResult | None" = None) -> None:
+        if result is not None:
+            for name in self.RELIABILITY_COUNTERS:
+                count = getattr(result.stats, name, 0)
+                if count:
+                    self.reliability_totals[name] = (
+                        self.reliability_totals.get(name, 0) + count
+                    )
         self.records.append(JobRecord(
             key=key,
             config=job.config.name,
@@ -616,6 +633,7 @@ class ParallelExperimentEngine:
             wall_s=round(self._wall_s, 6),
             busy_s=round(self._busy_s, 6),
             engine=self.stats.as_dict(),
+            reliability=dict(self.reliability_totals),
             jobs=list(self.records),
         )
 

@@ -1,0 +1,269 @@
+"""Device-level reliability: fault plans, wear, retirement, bit-identity."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import fgnvm, validate_config, with_reliability
+from repro.config.params import ReliabilityParams
+from repro.errors import ConfigError, ExperimentError
+from repro.memsys.reliability import (
+    BankReliability,
+    DeviceFaultPlan,
+    DeviceFaultSpec,
+    make_bank_reliability,
+    reliability_validation_problems,
+    scale_probability,
+)
+from repro.sim.experiment import run_benchmark
+
+
+def make_params(**overrides) -> ReliabilityParams:
+    defaults = dict(enabled=True, write_fail_prob=0.0, max_write_retries=3,
+                    endurance_writes=None, spare_tiles=1,
+                    wear_rotate_every=None, seed=0, fault_plan=None)
+    defaults.update(overrides)
+    return ReliabilityParams(**defaults)
+
+
+class TestDeviceFaultPlan:
+    def test_seeded_plan_is_deterministic_and_sorted(self):
+        a = DeviceFaultPlan.seeded(seed=9, kills=5, banks=4,
+                                   subarray_groups=4, column_divisions=2)
+        b = DeviceFaultPlan.seeded(seed=9, kills=5, banks=4,
+                                   subarray_groups=4, column_divisions=2)
+        assert a == b
+        assert len(a.kills) == 5
+        assert len({(s.bank, s.sag, s.cd) for s in a.kills}) == 5
+        assert list(a.kills) == sorted(
+            a.kills, key=lambda s: (s.bank, s.sag, s.cd)
+        )
+        for spec in a.kills:
+            assert 0 <= spec.bank < 4
+            assert 0 <= spec.sag < 4
+            assert 0 <= spec.cd < 2
+            assert 1 <= spec.after_writes <= 64
+
+    def test_seeded_plan_rejects_too_many_kills(self):
+        with pytest.raises(ExperimentError, match="cannot kill"):
+            DeviceFaultPlan.seeded(seed=0, kills=9, banks=2,
+                                   subarray_groups=2, column_divisions=2)
+
+    def test_json_round_trip(self):
+        plan = DeviceFaultPlan.seeded(seed=3, kills=3, banks=8,
+                                      subarray_groups=8, column_divisions=2)
+        assert DeviceFaultPlan.from_json(plan.to_json()) == plan
+
+    def test_from_json_rejects_garbage(self):
+        with pytest.raises(ExperimentError, match="malformed"):
+            DeviceFaultPlan.from_json("{not json")
+        with pytest.raises(ExperimentError, match="malformed"):
+            DeviceFaultPlan.from_json('{"kills": [{"bogus": 1}]}')
+
+    def test_spec_validates_coordinates(self):
+        with pytest.raises(ExperimentError, match="bank must be >= 0"):
+            DeviceFaultSpec(bank=-1, sag=0, cd=0)
+        with pytest.raises(ExperimentError, match="coordinates"):
+            DeviceFaultSpec(bank=0, sag=-1, cd=0)
+        with pytest.raises(ExperimentError, match="after_writes"):
+            DeviceFaultSpec(bank=0, sag=0, cd=0, after_writes=0)
+
+    def test_kills_for_bank_filters(self):
+        plan = DeviceFaultPlan(seed=0, kills=(
+            DeviceFaultSpec(bank=1, sag=2, cd=0, after_writes=5),
+            DeviceFaultSpec(bank=3, sag=0, cd=1, after_writes=7),
+        ))
+        assert plan.kills_for_bank(1) == {(2, 0): 5}
+        assert plan.kills_for_bank(0) == {}
+
+
+class TestValidation:
+    def test_disabled_block_is_never_checked(self):
+        config = fgnvm(4, 2)
+        config.reliability = ReliabilityParams(
+            enabled=False, write_fail_prob=9.0, max_write_retries=0,
+            spare_tiles=-1,
+        )
+        assert reliability_validation_problems(config) == []
+        validate_config(config)
+
+    @pytest.mark.parametrize("overrides, needle", [
+        (dict(write_fail_prob=-0.1), "write_fail_prob"),
+        (dict(write_fail_prob=1.5), "write_fail_prob"),
+        (dict(max_write_retries=0), "max_write_retries"),
+        (dict(endurance_writes=0), "endurance_writes"),
+        (dict(spare_tiles=0), "spare_tiles"),
+        (dict(wear_rotate_every=0), "wear_rotate_every"),
+        (dict(seed=-1), "seed"),
+        (dict(fault_plan="not a plan"), "fault_plan"),
+    ])
+    def test_enabled_block_rejects_bad_values(self, overrides, needle):
+        config = fgnvm(4, 2)
+        config.reliability = make_params(**overrides)
+        problems = reliability_validation_problems(config)
+        assert problems and needle in problems[0]
+        with pytest.raises(ConfigError, match=needle):
+            validate_config(config)
+
+    def test_with_reliability_validates(self):
+        with pytest.raises(ConfigError, match="write_fail_prob"):
+            with_reliability(fgnvm(4, 2), write_fail_prob=2.0)
+
+
+class TestBankReliability:
+    def test_disabled_params_build_none(self):
+        assert make_bank_reliability(None, 0, 4, 2) is None
+        assert make_bank_reliability(make_params(enabled=False), 0, 4, 2) \
+            is None
+        assert isinstance(
+            make_bank_reliability(make_params(), 0, 4, 2), BankReliability
+        )
+
+    def test_draws_are_deterministic(self):
+        params = make_params(write_fail_prob=0.5, max_write_retries=4)
+        a = BankReliability(params, 2, 4, 2)
+        b = BankReliability(params, 2, 4, 2)
+        for _ in range(30):
+            sag, cd = 1, 0
+            assert a.draw_retries(sag, cd) == b.draw_retries(sag, cd)
+            retries, _ = a.draw_retries(sag, cd)
+            a.record_write(sag, (cd,), retries)
+            b.record_write(sag, (cd,), retries)
+
+    def test_probability_extremes(self):
+        never = BankReliability(make_params(write_fail_prob=0.0), 0, 2, 2)
+        assert never.draw_retries(0, 0) == (0, False)
+        always = BankReliability(
+            make_params(write_fail_prob=1.0, max_write_retries=3), 0, 2, 2
+        )
+        assert always.draw_retries(0, 0) == (3, True)
+        assert scale_probability(1.0) == 1 << 53
+
+    def test_wear_accumulates_per_pulse(self):
+        rel = BankReliability(make_params(), 0, 2, 2)
+        rel.record_write(0, (0, 1), retries=2)
+        assert rel.wear[(0, 0)] == 3 and rel.wear[(0, 1)] == 3
+        assert rel.demand_writes == 1
+
+    def test_endurance_retires_spare_first_then_remaps(self):
+        rel = BankReliability(
+            make_params(endurance_writes=2, spare_tiles=1), 0, 2, 2
+        )
+        # Wear one tile past endurance: the spare absorbs it in place.
+        events = rel.record_write(0, (0,), retries=1)
+        assert events == [(0, 0, True)]
+        assert rel.spares_left == 0
+        assert rel.wear[(0, 0)] == 0  # fresh spare
+        assert rel.resolve(0, 0) == (0, 0)
+        # Past endurance again with no spares: remap onto a survivor.
+        rel.record_write(0, (0,), retries=0)
+        events = rel.record_write(0, (0,), retries=0)
+        assert events == [(0, 0, False)]
+        assert (0, 0) in rel.retired
+        assert rel.resolve(0, 0) == (0, 1)
+        assert rel.live_tiles() == 3
+
+    def test_remap_chains_collapse(self):
+        rel = BankReliability(
+            make_params(endurance_writes=1, spare_tiles=1), 0, 2, 2
+        )
+        rel.record_write(0, (0,), retries=0)   # consumes the spare
+        rel.record_write(0, (0,), retries=0)   # retires (0,0) -> (0,1)
+        assert rel.resolve(0, 0) == (0, 1)
+        rel.record_write(0, (1,), retries=0)   # retires (0,1) -> (1,0)
+        assert rel.resolve(0, 1) == (1, 0)
+        # The old chain head follows, never pointing at a dead tile.
+        assert rel.resolve(0, 0) == (1, 0)
+
+    def test_last_tile_is_never_retired(self):
+        rel = BankReliability(
+            make_params(endurance_writes=1, spare_tiles=1), 0, 1, 2
+        )
+        rel.record_write(0, (0,), retries=0)   # spare
+        rel.record_write(0, (0,), retries=0)   # retire (0,0) -> (0,1)
+        assert rel.live_tiles() == 1
+        for _ in range(5):
+            assert rel.record_write(0, (1,), retries=0) == []
+        assert rel.live_tiles() == 1
+
+    def test_scripted_kill_fires_at_threshold(self):
+        plan = DeviceFaultPlan(seed=0, kills=(
+            DeviceFaultSpec(bank=4, sag=1, cd=1, after_writes=3),
+        ))
+        rel = BankReliability(
+            make_params(fault_plan=plan, spare_tiles=1), 4, 2, 2
+        )
+        assert rel.record_write(1, (1,), retries=0) == []
+        assert rel.record_write(1, (1,), retries=0) == []
+        assert rel.record_write(1, (1,), retries=0) == [(1, 1, True)]
+        # The kill belonged to the dead physical tile: the spare lives.
+        assert rel.record_write(1, (1,), retries=0) == []
+
+    def test_out_of_range_kills_are_inert(self):
+        plan = DeviceFaultPlan(seed=0, kills=(
+            DeviceFaultSpec(bank=0, sag=7, cd=1, after_writes=1),
+        ))
+        rel = BankReliability(make_params(fault_plan=plan), 0, 2, 2)
+        assert rel._kills == {}
+
+    def test_rotation_skips_retired_tiles(self):
+        rel = BankReliability(
+            make_params(endurance_writes=1, spare_tiles=1,
+                        wear_rotate_every=2),
+            0, 2, 2,
+        )
+        assert not rel.maintenance_due()
+        rel.record_write(0, (0,), retries=0)
+        rel.record_write(0, (0,), retries=0)   # retires (0,0)
+        assert rel.maintenance_due()
+        order = [rel.next_rotation_tile() for _ in range(3)]
+        assert order == [(0, 1), (1, 0), (1, 1)]
+
+
+class TestSimulationIntegration:
+    def test_disabled_reliability_is_bit_identical(self):
+        plain = fgnvm(4, 2)
+        carried = with_reliability(
+            plain, write_fail_prob=0.3, wear_rotate_every=8,
+            endurance_writes=50, seed=5, name=plain.name,
+        )
+        carried.reliability = dataclasses.replace(
+            carried.reliability, enabled=False
+        )
+        a = run_benchmark(plain, "mcf", 600).summary()
+        b = run_benchmark(carried, "mcf", 600).summary()
+        assert a == b
+
+    def test_seeded_runs_are_deterministic(self):
+        config = with_reliability(
+            fgnvm(4, 2), write_fail_prob=0.1, wear_rotate_every=32,
+            endurance_writes=60, seed=7,
+        )
+        a = run_benchmark(config, "mcf", 800).summary()
+        b = run_benchmark(config, "mcf", 800).summary()
+        assert a == b
+        assert a["write_retries"] > 0
+
+    def test_retries_cost_cycles(self):
+        base = run_benchmark(fgnvm(4, 2), "mcf", 800)
+        faulted = run_benchmark(
+            with_reliability(fgnvm(4, 2), write_fail_prob=0.5,
+                             max_write_retries=6, seed=1),
+            "mcf", 800,
+        )
+        assert faulted.stats.write_retries > 0
+        assert faulted.cycles > base.cycles
+        # Retry pulses drive extra energy through the write path.
+        assert faulted.stats.write_bits > base.stats.write_bits
+
+    def test_kills_shrink_parallelism_but_run_completes(self):
+        plan = DeviceFaultPlan.seeded(seed=2, kills=4, banks=8,
+                                      subarray_groups=4,
+                                      column_divisions=2, after_writes=4)
+        result = run_benchmark(
+            with_reliability(fgnvm(4, 2), fault_plan=plan, seed=2),
+            "mcf", 2000,
+        )
+        assert result.stats.tiles_retired > 0
+        assert result.stats.spares_consumed > 0
+        assert result.instructions > 0
