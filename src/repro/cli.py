@@ -13,6 +13,9 @@ Commands:
 * ``chaos`` — run a sweep under a seeded fault plan and prove the
   results bit-identical to a fault-free serial run (``--device-faults``
   composes a seeded device-level fault plan on top),
+* ``watch`` — live ASCII dashboard (or ``--once``/``--json`` snapshot,
+  ``--replay`` post-mortem) over the telemetry spool a ``--telemetry``
+  run streams,
 * ``profile`` — attribute the simulator's own wall time to named
   phases (CPU tick, controller scheduling, bank issue, ...),
 * ``perf record`` / ``perf compare`` — write the ``BENCH_PERF.json``
@@ -44,8 +47,23 @@ from .obs import (
     inspect_trace,
     make_probe,
 )
-from .obs.inspect import load_events, summarize_events
-from .obs.manifest import JobRecord, RunManifest
+from .obs.drift import DriftDetector, read_envelopes
+from .obs.hub import (
+    SPOOL_NAME,
+    MetricsServer,
+    TelemetryHub,
+    otlp_json,
+    prometheus_text,
+    render_dashboard,
+)
+from .obs.inspect import (
+    load_events,
+    render_engine_report,
+    summarize_events,
+    summarize_manifest,
+)
+from .obs.stream import FRAME_SCHEMA, read_spool
+from .obs.manifest import JobRecord, RunManifest, read_manifest
 from .obs.trace import (
     RequestTracer,
     blame_report,
@@ -87,6 +105,7 @@ from .sim import (
     compare_architectures,
     dict_table,
     epoch_table,
+    hub_progress_printer,
     parameter_sweep,
     progress_printer,
     render_sweep,
@@ -156,6 +175,66 @@ def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
         help="attempts per job for transient failures (crashed worker, "
              "timeout) before giving up (default 3)",
     )
+    parser.add_argument(
+        "--telemetry", nargs="?", const="auto", default=None,
+        metavar="SPOOL",
+        help="stream live telemetry frames (job lifecycle, per-epoch "
+             "metrics, harness counters) from every worker into the "
+             "hub; the optional SPOOL path records a replayable "
+             "telemetry.jsonl (default: next to --cache-dir when set). "
+             "Watch a live run with `repro watch`",
+    )
+    parser.add_argument(
+        "--drift-envelope", default=None, metavar="PATH",
+        help="committed golden-envelope JSON; streamed epoch series "
+             "leaving their (config, benchmark) band raise EV_DRIFT "
+             "events and manifest findings (needs --telemetry)",
+    )
+    parser.add_argument(
+        "--prom", default=None, metavar="PATH",
+        help="write a Prometheus text exposition of the final hub "
+             "state to PATH (needs --telemetry)",
+    )
+    parser.add_argument(
+        "--otlp", default=None, metavar="PATH",
+        help="write an OTLP-shaped JSON metrics export of the final "
+             "hub state to PATH (needs --telemetry)",
+    )
+    parser.add_argument(
+        "--prom-port", type=int, default=None, metavar="PORT",
+        help="serve /metrics (Prometheus) and /otlp live on this port "
+             "for the duration of the run (needs --telemetry)",
+    )
+
+
+def _spool_path(args) -> Optional[str]:
+    """Resolve the ``--telemetry`` spool destination for one command."""
+    telemetry = getattr(args, "telemetry", None)
+    if telemetry is None:
+        return None
+    if telemetry != "auto":
+        return telemetry
+    cache_dir = getattr(args, "cache_dir", None) or os.environ.get(
+        "REPRO_CACHE_DIR"
+    )
+    return os.path.join(cache_dir, SPOOL_NAME) if cache_dir else None
+
+
+def _make_hub(args) -> Optional[TelemetryHub]:
+    """The telemetry hub for one command (None when streaming is off)."""
+    for flag in ("drift_envelope", "prom", "otlp", "prom_port"):
+        if (getattr(args, flag, None) is not None
+                and getattr(args, "telemetry", None) is None):
+            raise ExperimentError(
+                f"--{flag.replace('_', '-')} needs --telemetry (the "
+                "flag only shapes the live stream)"
+            )
+    if getattr(args, "telemetry", None) is None:
+        return None
+    drift = None
+    if args.drift_envelope is not None:
+        drift = DriftDetector(envelopes=read_envelopes(args.drift_envelope))
+    return TelemetryHub(spool_path=_spool_path(args), drift=drift)
 
 
 def _make_engine(args):
@@ -181,17 +260,57 @@ def _make_engine(args):
             f"--job-timeout must be positive seconds, got {job_timeout}"
         )
     workers = None if args.workers == 0 else args.workers
-    return resilient_engine(
+    hub = _make_hub(args)
+    if args.progress:
+        # With streaming on, the progress line renders from the hub's
+        # fleet view — the same counters `repro watch` reads — so the
+        # two can never disagree about job counts.
+        progress = (hub_progress_printer(hub) if hub is not None
+                    else progress_printer())
+    else:
+        progress = None
+    engine = resilient_engine(
         workers=workers,
         cache_dir=args.cache_dir,
-        progress=progress_printer() if args.progress else None,
+        progress=progress,
         retry=RetryPolicy(max_attempts=retries),
         job_timeout_s=job_timeout,
         resume=getattr(args, "resume", False),
+        telemetry=hub,
     )
+    if hub is not None and getattr(args, "prom_port", None) is not None:
+        engine._metrics_server = MetricsServer(hub, port=args.prom_port)
+        print(f"serving metrics at {engine._metrics_server.url}/metrics "
+              f"(and /otlp)", file=sys.stderr)
+    return engine
 
 
 def _report_engine(args, engine) -> None:
+    hub = getattr(engine, "telemetry", None)
+    if hub is not None:
+        hub.close()
+        server = getattr(engine, "_metrics_server", None)
+        if server is not None:
+            server.stop()
+        if getattr(args, "prom", None):
+            with open(args.prom, "w", encoding="utf-8") as handle:
+                handle.write(prometheus_text(hub))
+            print(f"prometheus exposition: {args.prom}", file=sys.stderr)
+        if getattr(args, "otlp", None):
+            with open(args.otlp, "w", encoding="utf-8") as handle:
+                json.dump(otlp_json(hub), handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            print(f"otlp metrics export: {args.otlp}", file=sys.stderr)
+        print(
+            f"telemetry: {hub.frames_seen} frame(s) from "
+            f"{len(hub.jobs)} job(s), {hub.dropped_frames} dropped"
+            + (f", spool {_spool_path(args)}" if _spool_path(args) else ""),
+            file=sys.stderr,
+        )
+        if hub.drift is not None and hub.drift.findings:
+            for finding in hub.drift.findings:
+                print(f"DRIFT {finding.kind}: {finding.detail}",
+                      file=sys.stderr)
     if args.progress or args.cache_dir:
         stats = engine.stats
         print(
@@ -815,7 +934,36 @@ def _cmd_chaos(args) -> int:
     return 1 if problems else 0
 
 
+def _is_telemetry_spool(path: str) -> bool:
+    """True when the file's first line is a telemetry frame."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            head = handle.readline()
+    except OSError:
+        return False
+    return FRAME_SCHEMA in head
+
+
 def _cmd_inspect(args) -> int:
+    if args.engine:
+        path = args.trace
+        if os.path.isdir(path):
+            path = os.path.join(path, "run-manifest.json")
+        summary = summarize_manifest(read_manifest(path))
+        if args.json:
+            print(json.dumps(summary, indent=2, sort_keys=True))
+        else:
+            print(render_engine_report(summary))
+        return 0
+    if _is_telemetry_spool(args.trace):
+        # A telemetry.jsonl spool: replay it through the hub instead of
+        # the event-trace analyzer (the spool holds frames, not events).
+        hub = TelemetryHub.replay(args.trace)
+        if args.json:
+            print(json.dumps(hub.snapshot(), indent=2, sort_keys=True))
+        else:
+            print(render_dashboard(hub))
+        return 0
     if args.json:
         summary = summarize_events(load_events(args.trace))
         print(json.dumps(summary, indent=2, sort_keys=True))
@@ -823,6 +971,53 @@ def _cmd_inspect(args) -> int:
     print(inspect_trace(args.trace, timeline_width=args.timeline,
                         blame=args.blame))
     return 0
+
+
+def _cmd_watch(args) -> int:
+    """Live (or replayed) sweep dashboard over a telemetry spool."""
+    spool = args.spool
+    if spool is None:
+        cache_dir = (getattr(args, "cache_dir", None)
+                     or os.environ.get("REPRO_CACHE_DIR") or ".")
+        spool = os.path.join(cache_dir, SPOOL_NAME)
+    elif os.path.isdir(spool):
+        spool = os.path.join(spool, SPOOL_NAME)
+    drift = None
+    if args.drift_envelope is not None:
+        drift = DriftDetector(envelopes=read_envelopes(args.drift_envelope))
+    once = args.once or args.json or args.replay
+    if once:
+        hub = TelemetryHub.replay(spool, drift=drift)
+        if args.json:
+            print(json.dumps(hub.snapshot(), indent=2, sort_keys=True))
+        else:
+            print(render_dashboard(hub, width=args.width))
+        return 0
+
+    # Follow mode: poll the spool tail and refresh the dashboard until
+    # interrupted.  Torn tails (a writer mid-append) are retried on the
+    # next tick by read_spool's offset contract.
+    if not os.path.exists(spool):
+        raise ExperimentError(
+            f"no telemetry spool at {spool}; start a run with "
+            "--telemetry (and --cache-dir), or pass the spool path"
+        )
+    hub = TelemetryHub(drift=drift)
+    offset = 0
+    try:
+        while True:
+            frames, offset = read_spool(spool, offset)
+            for frame in frames:
+                hub.fold(frame)
+            dashboard = render_dashboard(hub, width=args.width)
+            if sys.stdout.isatty():
+                sys.stdout.write("\x1b[2J\x1b[H" + dashboard + "\n")
+            else:
+                sys.stdout.write(dashboard + "\n\n")
+            sys.stdout.flush()
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
 
 
 def _cmd_profile(args) -> int:
@@ -1198,6 +1393,51 @@ def make_parser() -> argparse.ArgumentParser:
         help="render the full latency-blame decomposition from the "
              "trace's request spans (repro run --trace-sample)",
     )
+    ins_p.add_argument(
+        "--engine", action="store_true",
+        help="treat the positional argument as a run-manifest.json (or "
+             "a cache dir containing one) and render the fleet "
+             "telemetry: worker utilization, retries, cache hits, "
+             "corrupt blobs, slowest jobs",
+    )
+
+    watch_p = sub.add_parser(
+        "watch",
+        help="live sweep dashboard over a telemetry spool "
+             "(start the run with --telemetry)",
+    )
+    watch_p.add_argument(
+        "spool", nargs="?", default=None,
+        help="telemetry.jsonl spool (or the cache dir containing one); "
+             "defaults to <REPRO_CACHE_DIR or .>/telemetry.jsonl",
+    )
+    watch_p.add_argument(
+        "--once", action="store_true",
+        help="render one dashboard frame and exit (headless / CI)",
+    )
+    watch_p.add_argument(
+        "--json", action="store_true",
+        help="emit the schema-versioned hub snapshot as JSON instead "
+             "of the dashboard (implies --once)",
+    )
+    watch_p.add_argument(
+        "--replay", action="store_true",
+        help="replay a finished run's spool into one final dashboard "
+             "(same as --once; reads the whole file)",
+    )
+    watch_p.add_argument(
+        "--interval", type=float, default=1.0, metavar="SECONDS",
+        help="refresh interval in follow mode (default 1.0)",
+    )
+    watch_p.add_argument(
+        "--width", type=int, default=72,
+        help="dashboard width in columns (default 72)",
+    )
+    watch_p.add_argument(
+        "--drift-envelope", default=None, metavar="PATH",
+        help="re-check the replayed epoch series against a committed "
+             "golden envelope and flag anomalies",
+    )
 
     prof_p = sub.add_parser(
         "profile",
@@ -1281,6 +1521,7 @@ _HANDLERS = {
     "reproduce": _cmd_reproduce,
     "chaos": _cmd_chaos,
     "inspect": _cmd_inspect,
+    "watch": _cmd_watch,
     "profile": _cmd_profile,
     "perf": _cmd_perf,
     "trace-gen": _cmd_trace_gen,
@@ -1293,6 +1534,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _HANDLERS[args.command](args)
     except ReproError as exc:
         raise SystemExit(f"error: {exc}")
+    except BrokenPipeError:
+        # Downstream closed the pipe (e.g. `repro watch ... | head`);
+        # suppress the reopen-on-exit error and leave quietly.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

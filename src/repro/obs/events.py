@@ -62,12 +62,21 @@ EV_WRITE_RETRY = "write_retry"  #: verify failed, write re-pulsed
 EV_MAINT = "maintenance"        #: background wear-leveling migration
 EV_TILE_RETIRED = "tile_retired"  #: tile retired (spare or remap)
 
+#: Live-telemetry kind published by the drift detector
+#: (:mod:`repro.obs.drift`): a streamed epoch series left its committed
+#: golden envelope, or the harness showed an anomaly (retry storm,
+#: starved workers).  ``service`` names the anomaly kind, ``cycle``
+#: carries the offending epoch index (or 0 for harness anomalies) and
+#: ``value`` the observed magnitude scaled by 1e6 where fractional.
+EV_DRIFT = "drift"              #: live series left its golden envelope
+
 EVENT_KINDS = (
     EV_ENQUEUE, EV_ISSUE, EV_SENSE, EV_WRITE_PULSE, EV_QUEUE_STALL,
     EV_DRAIN, EV_COMPLETE, EV_CPU_STALL, EV_RUN_END,
     EV_SPAN, EV_BLAME,
     EV_FAULT, EV_RETRY, EV_QUARANTINE, EV_POOL_REBUILD, EV_DEGRADED,
     EV_WRITE_RETRY, EV_MAINT, EV_TILE_RETIRED,
+    EV_DRIFT,
 )
 
 

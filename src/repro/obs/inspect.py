@@ -241,3 +241,139 @@ def inspect_trace(path: "str | os.PathLike[str]",
     return render_inspection(
         summarize_events(events), events, timeline_width, blame=blame
     )
+
+
+# -- engine fleet telemetry (run-manifest.json) -------------------------------
+
+
+def summarize_manifest(data: Dict[str, object]) -> Dict[str, object]:
+    """Fleet telemetry digest of one run manifest (``inspect --engine``).
+
+    Works from the manifest JSON alone — the data every engine run
+    already records (job sources and wall times, resilience counters,
+    corrupt blobs) but no CLI surfaced until now.
+    """
+    jobs: List[Dict[str, object]] = data.get("jobs", [])
+    by_source = Counter(job.get("source", "?") for job in jobs)
+    by_config: Dict[str, Dict[str, float]] = {}
+    for job in jobs:
+        entry = by_config.setdefault(
+            str(job.get("config", "?")),
+            {"jobs": 0, "simulated": 0, "wall_s": 0.0},
+        )
+        entry["jobs"] += 1
+        if job.get("source") == "simulated":
+            entry["simulated"] += 1
+        entry["wall_s"] += float(job.get("wall_s", 0.0))
+    slowest = sorted(
+        (job for job in jobs if job.get("source") == "simulated"),
+        key=lambda job: -float(job.get("wall_s", 0.0)),
+    )[:5]
+    return {
+        "schema": data.get("schema"),
+        "code_version": data.get("code_version"),
+        "host": data.get("host"),
+        "created_utc": data.get("created_utc"),
+        "workers": data.get("workers", 1),
+        "wall_s": data.get("wall_s", 0.0),
+        "busy_s": data.get("busy_s", 0.0),
+        "worker_utilization": data.get("worker_utilization", 0.0),
+        "interrupted": bool(data.get("interrupted", False)),
+        "engine": data.get("engine", {}),
+        "resilience": data.get("resilience", {}),
+        "reliability": data.get("reliability", {}),
+        "telemetry": data.get("telemetry", {}),
+        "jobs": len(jobs),
+        "by_source": dict(by_source),
+        "by_config": by_config,
+        "slowest": [
+            {
+                "config": job.get("config"),
+                "benchmark": job.get("benchmark"),
+                "requests": job.get("requests"),
+                "wall_s": job.get("wall_s"),
+            }
+            for job in slowest
+        ],
+    }
+
+
+def render_engine_report(summary: Dict[str, object]) -> str:
+    """Human-readable fleet report for one summarized manifest."""
+    engine: Dict[str, int] = summary.get("engine", {})
+    lines = [
+        f"run: {summary.get('code_version')} on {summary.get('host')} "
+        f"at {summary.get('created_utc')}"
+        + ("  [INTERRUPTED]" if summary.get("interrupted") else ""),
+        f"fleet: {summary['jobs']} job(s) over "
+        f"{summary.get('workers', 1)} worker(s)  "
+        f"wall {float(summary.get('wall_s', 0.0)):.2f}s  "
+        f"busy {float(summary.get('busy_s', 0.0)):.2f}s  "
+        f"utilization {float(summary.get('worker_utilization', 0.0)):.1%}",
+        "sources: " + (", ".join(
+            f"{source}={count}"
+            for source, count in sorted(summary["by_source"].items())
+        ) or "(none)"),
+    ]
+    if engine:
+        lines.append(
+            f"cache: {engine.get('cache_hits', 0)} hit(s) "
+            f"({engine.get('memory_hits', 0)} memory, "
+            f"{engine.get('disk_hits', 0)} disk), "
+            f"{engine.get('simulations', 0)} simulation(s), "
+            f"{engine.get('corrupt_blobs', 0)} corrupt blob(s)"
+        )
+    resilience: Dict[str, int] = summary.get("resilience", {})
+    if any(resilience.values()):
+        lines.append("resilience: " + ", ".join(
+            f"{key}={value}" for key, value in sorted(resilience.items())
+            if value
+        ))
+    reliability: Dict[str, int] = summary.get("reliability", {})
+    if any(reliability.values()):
+        lines.append("device reliability: " + ", ".join(
+            f"{key}={value}" for key, value in sorted(reliability.items())
+            if value
+        ))
+    telemetry: Dict[str, object] = summary.get("telemetry", {})
+    if telemetry:
+        drift = telemetry.get("drift", {}) or {}
+        findings = drift.get("findings", []) if isinstance(drift, dict) else []
+        lines.append(
+            f"telemetry: {telemetry.get('frames_seen', 0)} frame(s), "
+            f"{telemetry.get('dropped_frames', 0)} dropped, "
+            f"{telemetry.get('jobs_streamed', 0)} job(s) streamed"
+            + (f", spool {telemetry['spool']}"
+               if telemetry.get("spool") else "")
+        )
+        for finding in findings:
+            lines.append(
+                f"  drift {finding.get('kind')}: {finding.get('detail')}"
+            )
+    if summary["by_config"]:
+        lines.append("")
+        lines.append("per-config:")
+        width = max(len(name) for name in summary["by_config"])
+        for name, entry in sorted(summary["by_config"].items()):
+            lines.append(
+                f"  {name.ljust(width)}  {entry['jobs']:>4} job(s)  "
+                f"{entry['simulated']:>4} simulated  "
+                f"{entry['wall_s']:8.2f}s"
+            )
+    if summary["slowest"]:
+        lines.append("")
+        lines.append("slowest simulations:")
+        for job in summary["slowest"]:
+            lines.append(
+                f"  {job['config']}/{job['benchmark']}/{job['requests']}"
+                f"  {float(job['wall_s']):.2f}s"
+            )
+    return "\n".join(lines)
+
+
+def inspect_engine(path: "str | os.PathLike[str]") -> str:
+    """Load, summarize and render a run manifest in one call."""
+    # Imported lazily to keep module import light (leaf rule above).
+    from .manifest import read_manifest
+
+    return render_engine_report(summarize_manifest(read_manifest(path)))

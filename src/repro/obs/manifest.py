@@ -71,6 +71,9 @@ class RunManifest:
     #: :mod:`repro.memsys.reliability`).  Empty when no job ran with the
     #: fault model enabled.
     reliability: Dict[str, int] = field(default_factory=dict)
+    #: Live-telemetry digest (frame/drop counts, spool path, drift
+    #: findings; :mod:`repro.obs.hub`).  Empty for stream-off runs.
+    telemetry: Dict[str, object] = field(default_factory=dict)
     #: True when the run was interrupted (SIGINT) and this manifest
     #: records the partial results flushed on the way out.
     interrupted: bool = False

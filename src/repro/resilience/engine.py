@@ -139,8 +139,10 @@ class ResilientEngine(ParallelExperimentEngine):
         resume: bool = False,
         max_pool_rebuilds: int = 3,
         journal_path: "str | os.PathLike[str] | None" = None,
+        telemetry=None,
     ):
-        super().__init__(workers, cache_dir, progress, code_version)
+        super().__init__(workers, cache_dir, progress, code_version,
+                         telemetry=telemetry)
         if job_timeout_s is not None and job_timeout_s <= 0:
             raise ExperimentError(
                 f"job_timeout_s must be positive, got {job_timeout_s}"
@@ -149,6 +151,11 @@ class ResilientEngine(ParallelExperimentEngine):
         self.job_timeout_s = job_timeout_s
         self.plan = fault_plan
         self.probe = probe if probe is not None else NULL_PROBE
+        if telemetry is not None:
+            # Tee harness events (retries, faults, quarantines, pool
+            # rebuilds) into the hub's fleet counters; the caller's
+            # sink, if any, still sees the unmodified stream.
+            self.probe = telemetry.adopt_probe(self.probe)
         self.max_pool_rebuilds = max_pool_rebuilds
         self.rstats = ResilienceStats()
         self._degraded = False

@@ -55,6 +55,11 @@ class EpochRecorder:
         #: Next unmaterialised boundary; the simulator guards its calls
         #: on this so disabled-boundary cycles never compute ``pending``.
         self.next_boundary = epoch_cycles
+        #: Optional ``hook(sample)`` called as each sample materialises —
+        #: the live-telemetry tap.  The hook only *reads* the sample the
+        #: recorder stores anyway, so the series is identical with or
+        #: without one attached (pinned by tests/obs equivalence suites).
+        self.on_sample = None
 
     def observe(self, now: int, pending: int) -> None:
         """Record any epoch boundaries passed by cycle ``now``.
@@ -95,6 +100,8 @@ class EpochRecorder:
         ))
         self._last = current
         self.next_boundary += self.epoch_cycles
+        if self.on_sample is not None:
+            self.on_sample(self.samples[-1])
 
 
 def sparkline(values: Sequence[float], levels: str = LEVELS) -> str:

@@ -41,6 +41,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence
 from ..config.params import SystemConfig
 from ..errors import ExperimentError
 from ..obs.manifest import JobRecord, RunManifest
+from ..obs.stream import activate, active_channel, init_worker, streamed_simulate
 from ..workloads.spec_profiles import get_profile
 from ..workloads.tracegen import generate_trace
 from .simulator import SimResult, simulate
@@ -136,6 +137,13 @@ def execute_job(job: ExperimentJob) -> SimResult:
     if job.seed is not None:
         profile = replace(profile, seed=job.seed)
     trace = generate_trace(profile, job.requests)
+    channel = active_channel()
+    if channel is not None:
+        # Live telemetry: identical simulation, plus lifecycle/epoch
+        # frames on the process-local channel.  With no channel active
+        # (the default) this function is byte-for-byte the pre-streaming
+        # path — the stream-off bit-identity contract.
+        return streamed_simulate(channel, job, trace)
     return simulate(job.config, trace)
 
 
@@ -400,6 +408,12 @@ class ParallelExperimentEngine:
     * ``progress`` — optional :data:`ProgressHook` called after every
       completed job of a batch (see
       :func:`repro.sim.reporting.progress_printer`).
+    * ``telemetry`` — optional :class:`~repro.obs.hub.TelemetryHub`;
+      when set, every simulation (serial or pooled) streams lifecycle
+      and epoch frames into the hub, and progress snapshots route
+      through it so ``--progress`` and ``repro watch`` read identical
+      counters.  ``None`` (the default) leaves the execution path
+      byte-for-byte unchanged.
 
     Lookup order per job: in-memory dict, then disk, then simulate.
     Results are returned in job order regardless of completion order,
@@ -412,6 +426,7 @@ class ParallelExperimentEngine:
         cache_dir: "str | os.PathLike[str] | None" = None,
         progress: Optional[ProgressHook] = None,
         code_version: str = CODE_VERSION,
+        telemetry=None,
     ):
         self.workers = os.cpu_count() or 1 if workers is None else workers
         if self.workers < 1:
@@ -420,6 +435,9 @@ class ParallelExperimentEngine:
             )
         self.code_version = code_version
         self.progress = progress
+        self.telemetry = telemetry
+        if telemetry is not None:
+            telemetry.note_workers(self.workers)
         self.disk = DiskResultCache(cache_dir) if cache_dir else None
         self.stats = EngineStats()
         self._memory: Dict[str, SimResult] = {}
@@ -466,6 +484,13 @@ class ParallelExperimentEngine:
         self.stats.submitted += len(jobs)
         started = time.monotonic()
         self._batch_persisted = set()
+        previous_channel = None
+        if self.telemetry is not None:
+            # Activate the hub's channel in this process so serial and
+            # degraded-to-serial execution stream exactly like pooled
+            # workers; restored (to None, normally) in the finally.
+            channel = self.telemetry.start(pooled=self.workers > 1)
+            previous_channel = activate(channel)
 
         results: Dict[str, SimResult] = {}
         pending: List[ExperimentJob] = []
@@ -503,6 +528,11 @@ class ParallelExperimentEngine:
             self._wall_s += time.monotonic() - started
             if self.disk is not None:
                 self.stats.corrupt_blobs = self.disk.corrupt_blobs
+            if self.telemetry is not None:
+                activate(previous_channel)
+                # The pool (if any) has shut down by now, so worker
+                # feeder threads have flushed: one drain gets the tail.
+                self.telemetry.pump()
         return [results[key] for key in keys]
 
     def _run_pending(
@@ -634,6 +664,8 @@ class ParallelExperimentEngine:
             busy_s=round(self._busy_s, 6),
             engine=self.stats.as_dict(),
             reliability=dict(self.reliability_totals),
+            telemetry=(self.telemetry.manifest_block()
+                       if self.telemetry is not None else {}),
             jobs=list(self.records),
         )
 
@@ -653,23 +685,40 @@ class ParallelExperimentEngine:
 
     def _make_pool(self, n_tasks: int) -> Optional[ProcessPoolExecutor]:
         """A pool sized to the work, or None when the platform refuses."""
+        initializer = None
+        initargs = ()
+        if self.telemetry is not None:
+            # Bind the shared frame queue inside every worker.  The
+            # queue rides the process-spawn path (initargs), where
+            # multiprocessing queues are legitimately shareable.
+            channel = self.telemetry.start(pooled=True)
+            initializer = init_worker
+            initargs = (channel.queue, channel.capacity)
         try:
             return ProcessPoolExecutor(
-                max_workers=min(self.workers, n_tasks)
+                max_workers=min(self.workers, n_tasks),
+                initializer=initializer,
+                initargs=initargs,
             )
         except (OSError, ValueError, NotImplementedError):
             return None
 
     def _report(self, done: int, total: int, started: float) -> None:
+        if self.progress is None and self.telemetry is None:
+            return
+        event = ProgressEvent(
+            done=done,
+            total=total,
+            elapsed_s=time.monotonic() - started,
+            cache_hits=self.stats.cache_hits,
+        )
+        if self.telemetry is not None:
+            # The hub is the single source of truth for progress: fold
+            # the snapshot there first (and drain worker frames), so a
+            # --progress line and `repro watch` read the same counters.
+            self.telemetry.note_progress(event)
         if self.progress is not None:
-            self.progress(
-                ProgressEvent(
-                    done=done,
-                    total=total,
-                    elapsed_s=time.monotonic() - started,
-                    cache_hits=self.stats.cache_hits,
-                )
-            )
+            self.progress(event)
 
 
 def default_engine(

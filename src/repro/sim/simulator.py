@@ -81,7 +81,8 @@ class Simulator:
     def __init__(self, config: SystemConfig, trace: Iterable[TraceRecord],
                  probe: "Probe | None" = None,
                  profiler: "PhaseTimer | None" = None,
-                 tracer: "RequestTracer | None" = None):
+                 tracer: "RequestTracer | None" = None,
+                 epoch_hook=None):
         validate_config(config)
         self.config = config
         self.stats = StatsCollector()
@@ -109,6 +110,12 @@ class Simulator:
             if config.sim.epoch_cycles
             else None
         )
+        # Live-telemetry tap: called per materialised epoch sample.  A
+        # hook only observes samples the recorder stores regardless, so
+        # the run is bit-identical with or without one (no-op when epoch
+        # sampling is off).
+        if self._epochs is not None and epoch_hook is not None:
+            self._epochs.on_sample = epoch_hook
 
     def run(self) -> SimResult:
         """Run to completion and return the results."""
@@ -260,8 +267,10 @@ class Simulator:
 def simulate(config: SystemConfig, trace: Iterable[TraceRecord],
              probe: "Probe | None" = None,
              profiler: "PhaseTimer | None" = None,
-             tracer: "RequestTracer | None" = None) -> SimResult:
+             tracer: "RequestTracer | None" = None,
+             epoch_hook=None) -> SimResult:
     """Build and run a simulator in one call (the common entry point)."""
     return Simulator(
-        config, trace, probe=probe, profiler=profiler, tracer=tracer
+        config, trace, probe=probe, profiler=profiler, tracer=tracer,
+        epoch_hook=epoch_hook,
     ).run()

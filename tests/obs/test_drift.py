@@ -1,0 +1,222 @@
+"""Drift envelopes, the detector, and the live engine integration."""
+
+import pytest
+
+from repro.config import fgnvm
+from repro.errors import ReproError
+from repro.obs.drift import (
+    DRIFT_IPC_HIGH,
+    DRIFT_IPC_LOW,
+    DRIFT_KINDS,
+    DRIFT_RETRY_STORM,
+    DRIFT_STARVED,
+    DriftDetector,
+    DriftEnvelope,
+    DriftFinding,
+    envelope_from_samples,
+    read_envelopes,
+    write_envelopes,
+)
+from repro.obs.hub import TelemetryHub
+from repro.obs.stream import activate, streamed_simulate
+from repro.sim.parallel import ExperimentJob, ParallelExperimentEngine
+from repro.workloads.synthetic import multi_stream_kernel
+
+
+def small(cfg, epoch_cycles=500):
+    cfg.org.rows_per_bank = 512
+    cfg.sim.epoch_cycles = epoch_cycles
+    return cfg
+
+
+def trace():
+    return multi_stream_kernel(
+        300, streams=4, gap=6, write_fraction=0.25, seed=5,
+    )
+
+
+@pytest.fixture(autouse=True)
+def no_active_channel():
+    previous = activate(None)
+    yield
+    activate(previous)
+
+
+def record_ipc_series():
+    """The epoch IPC series of one known-good run (envelope source)."""
+    hub = TelemetryHub()
+    channel = hub.start(pooled=False)
+    job = ExperimentJob(small(fgnvm(4, 4)), "mcf", 300)
+    streamed_simulate(channel, job, trace())
+    hub.pump()
+    view = next(iter(hub.jobs.values()))
+    return list(view.ipc_series)
+
+
+class TestEnvelope:
+    def test_band_with_tolerance(self):
+        env = DriftEnvelope(config="c", benchmark="b",
+                            ipc_min=1.0, ipc_max=2.0, rel_tol=0.25)
+        assert env.floor == pytest.approx(0.75)
+        assert env.ceiling == pytest.approx(2.5)
+
+    def test_check_classifies(self):
+        env = DriftEnvelope(config="c", benchmark="b",
+                            ipc_min=1.0, ipc_max=2.0, rel_tol=0.0,
+                            warmup_epochs=2)
+        assert env.check(5, 0.5) == DRIFT_IPC_LOW
+        assert env.check(5, 2.5) == DRIFT_IPC_HIGH
+        assert env.check(5, 1.5) is None
+
+    def test_warmup_epochs_exempt(self):
+        env = DriftEnvelope(config="c", benchmark="b",
+                            ipc_min=1.0, ipc_max=2.0, rel_tol=0.0,
+                            warmup_epochs=2)
+        assert env.check(0, 0.0) is None
+        assert env.check(1, 0.0) is None
+        assert env.check(2, 0.0) == DRIFT_IPC_LOW
+
+    def test_record_from_samples_skips_warmup(self):
+        env = envelope_from_samples("c", "b", [9.0, 9.0, 1.0, 2.0],
+                                    warmup_epochs=2)
+        assert env.ipc_min == 1.0
+        assert env.ipc_max == 2.0
+
+    def test_record_from_short_series_uses_all(self):
+        env = envelope_from_samples("c", "b", [1.5], warmup_epochs=2)
+        assert env.ipc_min == env.ipc_max == 1.5
+
+    def test_record_from_empty_series_raises(self):
+        with pytest.raises(ReproError):
+            envelope_from_samples("c", "b", [])
+
+
+class TestEnvelopeFile:
+    def test_write_read_roundtrip(self, tmp_path):
+        path = tmp_path / "envelopes.json"
+        envelopes = [
+            DriftEnvelope(config="fgnvm-4x4", benchmark="mcf",
+                          ipc_min=1.0, ipc_max=2.0),
+            DriftEnvelope(config="coarse", benchmark="lbm",
+                          ipc_min=0.5, ipc_max=0.9, rel_tol=0.1,
+                          warmup_epochs=4),
+        ]
+        write_envelopes(path, envelopes)
+        loaded = read_envelopes(path)
+        assert set(loaded) == {("fgnvm-4x4", "mcf"), ("coarse", "lbm")}
+        assert loaded[("coarse", "lbm")].rel_tol == 0.1
+        assert loaded[("coarse", "lbm")].warmup_epochs == 4
+
+    def test_read_rejects_wrong_schema(self, tmp_path):
+        path = tmp_path / "envelopes.json"
+        path.write_text('{"schema": "other-v1", "envelopes": []}',
+                        encoding="utf-8")
+        with pytest.raises(ReproError):
+            read_envelopes(path)
+
+    def test_read_missing_file_raises(self, tmp_path):
+        with pytest.raises(ReproError):
+            read_envelopes(tmp_path / "absent.json")
+
+
+class TestDetector:
+    def env(self, **kwargs):
+        defaults = dict(config="c", benchmark="b", ipc_min=1.0,
+                        ipc_max=2.0, rel_tol=0.0, warmup_epochs=0)
+        defaults.update(kwargs)
+        return DriftEnvelope(**defaults)
+
+    def test_epoch_outside_band_is_a_finding(self):
+        detector = DriftDetector(envelopes={("c", "b"): self.env()})
+        finding = detector.check_epoch("c/b/300", "c", "b", 3, 0.2)
+        assert finding is not None
+        assert finding.kind == DRIFT_IPC_LOW
+        assert finding.bound == pytest.approx(1.0)
+        assert detector.findings == [finding]
+
+    def test_unknown_pair_never_fires(self):
+        detector = DriftDetector(envelopes={("c", "b"): self.env()})
+        assert detector.check_epoch("x/y/1", "x", "y", 3, 0.0) is None
+        assert detector.findings == []
+
+    def test_retry_storm_fires_once(self):
+        detector = DriftDetector(retry_storm_threshold=3)
+        assert detector.check_retries(2) is None
+        finding = detector.check_retries(3)
+        assert finding is not None
+        assert finding.kind == DRIFT_RETRY_STORM
+        assert detector.check_retries(50) is None  # already fired
+        assert len(detector.findings) == 1
+
+    def test_utilization_floor_default_off(self):
+        assert DriftDetector().check_utilization(0.0) is None
+
+    def test_utilization_floor_armed(self):
+        detector = DriftDetector(utilization_floor=0.5)
+        assert detector.check_utilization(0.6) is None
+        finding = detector.check_utilization(0.3)
+        assert finding is not None
+        assert finding.kind == DRIFT_STARVED
+
+    def test_summary_counts_by_kind(self):
+        detector = DriftDetector(envelopes={("c", "b"): self.env()})
+        detector.check_epoch("j", "c", "b", 1, 0.1)
+        detector.check_epoch("j", "c", "b", 2, 0.1)
+        detector.check_retries(detector.retry_storm_threshold)
+        summary = detector.summary()
+        assert summary["by_kind"] == {DRIFT_IPC_LOW: 2,
+                                      DRIFT_RETRY_STORM: 1}
+        assert len(summary["findings"]) == 3
+        for entry in summary["findings"]:
+            assert entry["kind"] in DRIFT_KINDS
+
+    def test_finding_as_dict_rounds(self):
+        finding = DriftFinding(kind=DRIFT_IPC_LOW, job="j", epoch=1,
+                               observed=0.1234567, bound=1.0)
+        assert finding.as_dict()["observed"] == 0.123457
+
+
+class TestLiveIntegration:
+    def test_clean_run_yields_no_findings(self):
+        series = record_ipc_series()
+        envelope = envelope_from_samples("fgnvm-4x4", "mcf", series)
+        hub = TelemetryHub(drift=DriftDetector(
+            envelopes={("fgnvm-4x4", "mcf"): envelope},
+        ))
+        channel = hub.start(pooled=False)
+        job = ExperimentJob(small(fgnvm(4, 4)), "mcf", 300)
+        streamed_simulate(channel, job, trace())
+        hub.pump()
+        hub.close()
+        assert hub.drift.findings == []
+
+    def test_impossible_envelope_flags_collapse(self):
+        envelope = DriftEnvelope(config="fgnvm-4x4", benchmark="mcf",
+                                 ipc_min=50.0, ipc_max=60.0, rel_tol=0.0)
+        hub = TelemetryHub(drift=DriftDetector(
+            envelopes={("fgnvm-4x4", "mcf"): envelope},
+        ))
+        channel = hub.start(pooled=False)
+        job = ExperimentJob(small(fgnvm(4, 4)), "mcf", 300)
+        streamed_simulate(channel, job, trace())
+        hub.pump()
+        hub.close()
+        kinds = {f.kind for f in hub.drift.findings}
+        assert kinds == {DRIFT_IPC_LOW}
+        # Warm-up epochs are exempt.
+        assert all(f.epoch >= envelope.warmup_epochs
+                   for f in hub.drift.findings)
+
+    def test_findings_reach_the_manifest(self, tmp_path):
+        envelope = DriftEnvelope(config="fgnvm-4x4", benchmark="mcf",
+                                 ipc_min=50.0, ipc_max=60.0, rel_tol=0.0)
+        hub = TelemetryHub(drift=DriftDetector(
+            envelopes={("fgnvm-4x4", "mcf"): envelope},
+        ))
+        engine = ParallelExperimentEngine(workers=1, telemetry=hub)
+        engine.run_jobs([ExperimentJob(small(fgnvm(4, 4)), "mcf", 300)])
+        hub.close()
+        manifest = engine.manifest()
+        drift = manifest.telemetry["drift"]
+        assert drift["by_kind"][DRIFT_IPC_LOW] >= 1
+        assert drift["findings"][0]["job"] == "fgnvm-4x4/mcf/300"

@@ -131,6 +131,76 @@ class TestNoAllocationWhenDisabled:
         assert NULL_TRACER.active == {}
 
 
+class TestStreamingNoBehaviourChange:
+    """Live telemetry obeys the same never-perturb contract.
+
+    A streaming run must produce bit-identical simulated results to a
+    stream-off run, and serial and pooled engines must emit equivalent
+    frame streams for the same sweep.
+    """
+
+    def jobs(self):
+        from repro.sim.parallel import ExperimentJob
+
+        def cfg(banks, tiles):
+            c = fgnvm(banks, tiles)
+            c.org.rows_per_bank = 512
+            c.sim.epoch_cycles = 500
+            return c
+
+        return [
+            ExperimentJob(cfg(4, 4), "mcf", 300),
+            ExperimentJob(cfg(8, 2), "lbm", 300),
+        ]
+
+    def run_engine(self, workers, hub):
+        from repro.sim.parallel import ParallelExperimentEngine
+
+        engine = ParallelExperimentEngine(workers=workers, telemetry=hub)
+        results = engine.run_jobs(self.jobs())
+        if hub is not None:
+            hub.close()
+        return results
+
+    def test_stream_off_runs_are_bit_identical(self):
+        from repro.obs.hub import TelemetryHub
+
+        plain = self.run_engine(workers=1, hub=None)
+        streamed = self.run_engine(workers=1, hub=TelemetryHub())
+        assert [r.summary() for r in plain] == [
+            r.summary() for r in streamed
+        ]
+        assert [r.epochs for r in plain] == [r.epochs for r in streamed]
+
+    def test_serial_and_pooled_streams_are_equivalent(self):
+        from repro.obs.hub import TelemetryHub
+
+        serial_hub = TelemetryHub()
+        pooled_hub = TelemetryHub()
+        serial = self.run_engine(workers=1, hub=serial_hub)
+        pooled = self.run_engine(workers=2, hub=pooled_hub)
+        assert [r.summary() for r in serial] == [
+            r.summary() for r in pooled
+        ]
+        assert set(serial_hub.jobs) == set(pooled_hub.jobs)
+        for label, serial_view in serial_hub.jobs.items():
+            pooled_view = pooled_hub.jobs[label]
+            assert list(serial_view.ipc_series) == list(
+                pooled_view.ipc_series
+            )
+            assert serial_view.epochs == pooled_view.epochs
+            assert serial_view.cycles == pooled_view.cycles
+            assert serial_view.state == pooled_view.state == "done"
+
+    def test_streaming_engine_reports_zero_drops_when_unpressured(self):
+        from repro.obs.hub import TelemetryHub
+
+        hub = TelemetryHub()
+        self.run_engine(workers=2, hub=hub)
+        assert hub.dropped_frames == 0
+        assert hub.fleet.jobs_done == 2
+
+
 @pytest.mark.skipif(
     not os.environ.get("REPRO_OVERHEAD_GATE"),
     reason="overhead-budget gate is CI-only (REPRO_OVERHEAD_GATE=1)",

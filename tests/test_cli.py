@@ -635,3 +635,127 @@ class TestPerf:
     def test_record_rejects_bad_repeats(self):
         with pytest.raises(SystemExit, match="--repeats"):
             main(["perf", "record", "--repeats", "0"])
+
+
+class TestTelemetryCli:
+    RUN = [
+        "compare", "--configs", "baseline", "fgnvm-8x2",
+        "--benchmark", "sphinx3", "--requests", "300",
+        "--epoch-cycles", "500", "--workers", "2",
+    ]
+
+    def sweep(self, tmp_path, capsys, extra=()):
+        cache = tmp_path / "cache"
+        code = main(self.RUN + ["--cache-dir", str(cache),
+                                "--telemetry"] + list(extra))
+        assert code == 0
+        err = capsys.readouterr().err
+        return cache, err
+
+    def test_run_with_telemetry_writes_spool(self, tmp_path, capsys):
+        cache, err = self.sweep(tmp_path, capsys)
+        spool = cache / "telemetry.jsonl"
+        assert spool.exists()
+        assert "telemetry:" in err
+        assert "0 dropped" in err
+        # Every spool line is a schema-valid frame.
+        import json
+
+        from repro.obs.stream import validate_frame
+
+        lines = spool.read_text().splitlines()
+        assert lines
+        for line in lines:
+            assert validate_frame(json.loads(line)) == []
+
+    def test_watch_once_json_snapshot(self, tmp_path, capsys):
+        import json
+
+        from repro.obs.hub import SNAPSHOT_SCHEMA
+
+        cache, _ = self.sweep(tmp_path, capsys)
+        assert main(["watch", str(cache), "--once", "--json"]) == 0
+        snap = json.loads(capsys.readouterr().out)
+        assert snap["schema"] == SNAPSHOT_SCHEMA
+        assert snap["dropped_frames"] == 0
+        assert len(snap["jobs"]) >= 2
+        assert all(j["state"] == "done" for j in snap["jobs"])
+
+    def test_watch_once_dashboard(self, tmp_path, capsys):
+        cache, _ = self.sweep(tmp_path, capsys)
+        assert main(["watch", str(cache / "telemetry.jsonl"),
+                     "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "jobs" in out
+        assert "dropped frames 0" in out
+
+    def test_watch_replay_missing_spool_fails(self, tmp_path):
+        with pytest.raises(SystemExit, match="telemetry"):
+            main(["watch", str(tmp_path / "absent.jsonl"), "--once"])
+
+    def test_inspect_engine_report(self, tmp_path, capsys):
+        cache, _ = self.sweep(tmp_path, capsys)
+        assert main(["inspect", "--engine", str(cache)]) == 0
+        out = capsys.readouterr().out
+        assert "fleet:" in out
+        assert "telemetry:" in out
+
+    def test_inspect_engine_json(self, tmp_path, capsys):
+        import json
+
+        cache, _ = self.sweep(tmp_path, capsys)
+        assert main(["inspect", "--engine", str(cache), "--json"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["telemetry"]["dropped_frames"] == 0
+        assert summary["telemetry"]["jobs_streamed"] >= 2
+
+    def test_inspect_autodetects_spool(self, tmp_path, capsys):
+        cache, _ = self.sweep(tmp_path, capsys)
+        assert main(["inspect", str(cache / "telemetry.jsonl")]) == 0
+        out = capsys.readouterr().out
+        assert "dropped frames" in out
+
+    def test_prom_and_otlp_exports(self, tmp_path, capsys):
+        import json
+
+        prom = tmp_path / "metrics.prom"
+        otlp = tmp_path / "metrics.otlp.json"
+        self.sweep(tmp_path, capsys,
+                   extra=["--prom", str(prom), "--otlp", str(otlp)])
+        text = prom.read_text()
+        assert "# TYPE repro_jobs_total gauge" in text
+        assert "repro_dropped_frames_total 0" in text
+        data = json.loads(otlp.read_text())
+        assert "resourceMetrics" in data
+
+    def test_prom_without_telemetry_rejected(self, tmp_path):
+        with pytest.raises(SystemExit, match="--telemetry"):
+            main(self.RUN + ["--prom", str(tmp_path / "m.prom")])
+
+    def test_drift_envelope_flags_findings(self, tmp_path, capsys):
+        import json
+
+        from repro.obs.drift import DriftEnvelope, write_envelopes
+
+        envelope_path = tmp_path / "envelopes.json"
+        write_envelopes(envelope_path, [
+            DriftEnvelope(config="baseline-nvm", benchmark="sphinx3",
+                          ipc_min=50.0, ipc_max=60.0, rel_tol=0.0),
+            DriftEnvelope(config="fgnvm-8x2", benchmark="sphinx3",
+                          ipc_min=50.0, ipc_max=60.0, rel_tol=0.0),
+        ])
+        cache, err = self.sweep(
+            tmp_path, capsys,
+            extra=["--drift-envelope", str(envelope_path)],
+        )
+        assert "DRIFT ipc_low" in err
+        manifest = json.loads((cache / "run-manifest.json").read_text())
+        assert manifest["telemetry"]["drift"]["by_kind"]["ipc_low"] >= 1
+
+    def test_progress_renders_from_hub(self, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        assert main(self.RUN + ["--cache-dir", str(cache), "--telemetry",
+                                "--progress"]) == 0
+        err = capsys.readouterr().err
+        # The hub-sourced progress line uses the fleet's "jobs" label.
+        assert "] jobs" in err
