@@ -13,7 +13,11 @@ controlled queue depths and bank counts:
 * ``policy-tick`` — the same tick loop once per registered scheduling
   policy at one mid-size grid point, so a slow ranking key in any
   policy (the generic min-scan base included) shows up next to the
-  hand-unrolled FRFCFS numbers.
+  hand-unrolled FRFCFS numbers,
+* ``trace.generate`` / ``trace.decode`` — the packed struct-of-arrays
+  trace pipeline against the per-record dataclass stream it replaced:
+  column-fill generation vs record-object generation, and streaming
+  text/framed-blob decode vs full record materialisation.
 
 Timings are recorded as ``microbench``-sourced entries in the session's
 ``BENCH_PERF.json`` via :func:`conftest.record_perf_entry`, alongside
@@ -21,6 +25,7 @@ the engine-sourced figure timings — so a regression in either loop is
 visible to ``repro perf compare`` without rerunning a full figure.
 """
 
+import io
 import time
 
 import pytest
@@ -32,6 +37,10 @@ from repro.memsys.policies import apply_policy, policy_names
 from repro.memsys.request import MemRequest, OpType
 from repro.memsys.stats import StatsCollector
 from repro.obs.perf import PerfEntry
+from repro.workloads.packed import PackedTrace
+from repro.workloads.spec_profiles import get_profile
+from repro.workloads.trace_io import read_trace_packed, trace_to_string
+from repro.workloads.tracegen import ProfileTraceGenerator, generate_packed_trace
 
 #: Transaction-queue occupancy held during timing.
 DEPTHS = (8, 32, 64)
@@ -170,3 +179,57 @@ def bench_policy_tick(policy, cache):
     assert completed_total > 0, "policy tick bench never completed"
     _record(f"policy-{policy}", "ctrl-tick", POLICY_DEPTH,
             TICK_CYCLES, samples)
+
+
+#: Rows per sample in the trace-pipeline benches.
+TRACE_ROWS = 20_000
+
+
+def bench_trace_generate(cache):
+    """Packed column fill vs the per-record dataclass stream."""
+    profile = get_profile("mcf")
+    packed_samples, record_samples = [], []
+    for _ in range(SAMPLES):
+        start = time.perf_counter()
+        packed = ProfileTraceGenerator(profile).packed(TRACE_ROWS)
+        packed_samples.append(time.perf_counter() - start)
+        start = time.perf_counter()
+        drained = sum(1 for _ in ProfileTraceGenerator(profile)
+                      .records(TRACE_ROWS))
+        record_samples.append(time.perf_counter() - start)
+        assert len(packed) == drained == TRACE_ROWS
+    _record("trace-pipeline", "generate-packed", TRACE_ROWS,
+            TRACE_ROWS, packed_samples)
+    _record("trace-pipeline", "generate-records", TRACE_ROWS,
+            TRACE_ROWS, record_samples)
+
+
+def bench_trace_decode(cache):
+    """Streaming/blob decode vs materialising every TraceRecord.
+
+    ``decode-records`` times what the old reader always paid — columns
+    plus one dataclass per line — so the packed rows show the decode
+    cost the struct-of-arrays pipeline removed.
+    """
+    trace = generate_packed_trace(get_profile("mcf"), TRACE_ROWS)
+    text = trace_to_string(trace.view())
+    blob = trace.to_bytes()
+    text_samples, blob_samples, record_samples = [], [], []
+    for _ in range(SAMPLES):
+        start = time.perf_counter()
+        decoded = read_trace_packed(io.StringIO(text))
+        text_samples.append(time.perf_counter() - start)
+        start = time.perf_counter()
+        records = decoded.to_records()
+        record_samples.append(
+            time.perf_counter() - start + text_samples[-1])
+        start = time.perf_counter()
+        reloaded = PackedTrace.from_bytes(blob)
+        blob_samples.append(time.perf_counter() - start)
+        assert len(records) == len(reloaded) == TRACE_ROWS
+    _record("trace-pipeline", "decode-packed", TRACE_ROWS,
+            TRACE_ROWS, text_samples)
+    _record("trace-pipeline", "decode-records", TRACE_ROWS,
+            TRACE_ROWS, record_samples)
+    _record("trace-pipeline", "decode-blob", TRACE_ROWS,
+            TRACE_ROWS, blob_samples)

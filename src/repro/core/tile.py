@@ -16,6 +16,11 @@ time-multiplexed resources:
 and CD plus occupancy integrals for utilisation statistics.  It knows
 nothing about request semantics — the FgNVM bank model layers the
 classification logic on top.
+
+The busy state lives as parallel ``until``/``kind`` lists per resource
+family (struct-of-arrays) rather than per-resource occupancy objects:
+the grid is interrogated every scheduling decision of every cycle, and
+flat list indexing keeps that hot path free of attribute chasing.
 """
 
 from __future__ import annotations
@@ -32,16 +37,6 @@ KIND_WRITE = "write"
 KIND_MAINT = "maint"
 
 
-class _Occupancy:
-    """One resource's holding window."""
-
-    __slots__ = ("until", "kind")
-
-    def __init__(self):
-        self.until = 0
-        self.kind = KIND_IDLE
-
-
 class TileGrid:
     """Free/busy tracking for the SAG and CD resources of one bank."""
 
@@ -50,8 +45,10 @@ class TileGrid:
             raise ValueError("grid dimensions must be >= 1")
         self.subarray_groups = subarray_groups
         self.column_divisions = column_divisions
-        self._sag = [_Occupancy() for _ in range(subarray_groups)]
-        self._cd = [_Occupancy() for _ in range(column_divisions)]
+        self._sag_until: List[int] = [0] * subarray_groups
+        self._sag_kind: List[str] = [KIND_IDLE] * subarray_groups
+        self._cd_until: List[int] = [0] * column_divisions
+        self._cd_kind: List[str] = [KIND_IDLE] * column_divisions
         #: Cycle-weighted busy integrals (for utilisation reporting).
         self.sag_busy_cycles = 0
         self.cd_busy_cycles = 0
@@ -59,21 +56,21 @@ class TileGrid:
     # -- queries ---------------------------------------------------------
 
     def cd_free_at(self, cd: int) -> int:
-        return self._cd[cd].until
+        return self._cd_until[cd]
 
     def cd_kind(self, cd: int) -> str:
         """Kind of the CD's *latest* occupancy (valid for any cycle
         before its ``cd_free_at`` release — exactly the window backward
         blame attribution asks about)."""
-        return self._cd[cd].kind
+        return self._cd_kind[cd]
 
     def sag_free_at(self, sag: int) -> int:
         """When the SAG is fully free (required for row changes/writes)."""
-        return self._sag[sag].until
+        return self._sag_until[sag]
 
     def sag_kind(self, sag: int) -> str:
         """Kind of the SAG's latest occupancy (see :meth:`cd_kind`)."""
-        return self._sag[sag].kind
+        return self._sag_kind[sag]
 
     def sag_write_free_at(self, sag: int) -> int:
         """When any in-progress *write* in the SAG completes.
@@ -81,12 +78,13 @@ class TileGrid:
         Same-row senses only have to respect writes (a write makes the
         SAG unavailable); concurrent same-row senses are fine.
         """
-        occ = self._sag[sag]
-        return occ.until if occ.kind == KIND_WRITE else 0
+        if self._sag_kind[sag] == KIND_WRITE:
+            return self._sag_until[sag]
+        return 0
 
     def is_tile_free(self, tile: Tuple[int, int], now: int) -> bool:
         sag, cd = tile
-        return self._sag[sag].until <= now and self._cd[cd].until <= now
+        return self._sag_until[sag] <= now and self._cd_until[cd] <= now
 
     def active_cd_kinds(self, now: int,
                         exclude_cds: "Optional[tuple]" = None) -> List[str]:
@@ -97,15 +95,20 @@ class TileGrid:
         caller's own columns from the count.
         """
         excluded = exclude_cds or ()
+        until = self._cd_until
+        kinds = self._cd_kind
         return [
-            occ.kind
-            for cd, occ in enumerate(self._cd)
-            if occ.until > now and cd not in excluded
+            kinds[cd]
+            for cd in range(len(until))
+            if until[cd] > now and cd not in excluded
         ]
 
     def any_write_active(self, now: int) -> bool:
+        until = self._cd_until
+        kinds = self._cd_kind
         return any(
-            occ.kind == KIND_WRITE and occ.until > now for occ in self._cd
+            kinds[cd] == KIND_WRITE and until[cd] > now
+            for cd in range(len(until))
         )
 
     # -- updates ---------------------------------------------------------
@@ -116,28 +119,30 @@ class TileGrid:
 
         Double-booking is a scheduler bug, not a condition to paper over.
         """
-        occ = self._cd[cd]
-        if occ.until > start:
+        until = self._cd_until[cd]
+        if until > start:
             raise ValueError(
-                f"CD {cd} busy until {occ.until}, occupy at {start}"
+                f"CD {cd} busy until {until}, occupy at {start}"
             )
-        occ.until = start + duration
-        occ.kind = kind
+        until = start + duration
+        self._cd_until[cd] = until
+        self._cd_kind[cd] = kind
         self.cd_busy_cycles += duration
-        return occ.until
+        return until
 
     def occupy_sag_exclusive(self, sag: int, start: int, duration: int,
                              kind: str) -> int:
         """Exclusively hold a SAG (row change or write)."""
-        occ = self._sag[sag]
-        if occ.until > start:
+        until = self._sag_until[sag]
+        if until > start:
             raise ValueError(
-                f"SAG {sag} busy until {occ.until}, occupy at {start}"
+                f"SAG {sag} busy until {until}, occupy at {start}"
             )
-        occ.until = start + duration
-        occ.kind = kind
+        until = start + duration
+        self._sag_until[sag] = until
+        self._sag_kind[sag] = kind
         self.sag_busy_cycles += duration
-        return occ.until
+        return until
 
     def extend_sag(self, sag: int, until: int, kind: str) -> None:
         """Keep a SAG's wordline held at least through ``until``.
@@ -145,22 +150,24 @@ class TileGrid:
         Used by same-row senses joining an already-open wordline; the
         SAG frees only when the longest-running operation does.
         """
-        occ = self._sag[sag]
-        if until > occ.until:
-            self.sag_busy_cycles += until - max(occ.until, 0)
-            occ.until = until
-            occ.kind = kind
+        held = self._sag_until[sag]
+        if until > held:
+            self.sag_busy_cycles += until - max(held, 0)
+            self._sag_until[sag] = until
+            self._sag_kind[sag] = kind
 
     # -- event-skipping support ----------------------------------------------
 
     def next_release(self, now: int) -> Optional[int]:
         """Earliest future release cycle across all resources, if any."""
-        future = [
-            occ.until
-            for occ in self._sag + self._cd
-            if occ.until > now
-        ]
-        return min(future) if future else None
+        best: Optional[int] = None
+        for until in self._sag_until:
+            if until > now and (best is None or until < best):
+                best = until
+        for until in self._cd_until:
+            if until > now and (best is None or until < best):
+                best = until
+        return best
 
     def utilisation(self, elapsed_cycles: int) -> Tuple[float, float]:
         """(SAG, CD) busy fractions over ``elapsed_cycles``."""

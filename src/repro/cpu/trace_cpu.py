@@ -26,6 +26,7 @@ from ..memsys.request import MemRequest, OpType
 from ..memsys.stats import StatsCollector
 from ..obs.events import EV_CPU_STALL, NULL_PROBE, Event, Probe
 from ..obs.perf.profiler import NULL_PROFILER, PhaseTimer
+from ..workloads.packed import OP_READ, PackedTrace, RecordView
 from ..workloads.record import TraceRecord
 from .rob import ReorderBuffer
 
@@ -55,8 +56,30 @@ class TraceCpu:
         #: nested call sites (controller admission).
         self.profiler = profiler
         self.rob = ReorderBuffer(params.rob_entries)
-        self._trace: Iterator[TraceRecord] = iter(trace)
-        self._current: Optional[TraceRecord] = None
+        # Packed traces replay by column index — no TraceRecord exists
+        # on the replay path; anything else replays through an iterator.
+        # Both cursors fill the same scalar fields, so the fetch loop is
+        # representation-blind.
+        if isinstance(trace, RecordView):
+            trace = trace.packed
+        if isinstance(trace, PackedTrace):
+            self._packed: Optional[PackedTrace] = trace
+            self._gaps = trace.gaps
+            self._ops = trace.ops
+            self._addresses = trace.addresses
+            self._packed_len = len(trace)
+            self._index = 0
+            self._trace: Iterator[TraceRecord] = iter(())
+        else:
+            self._packed = None
+            self._packed_len = 0
+            self._index = 0
+            self._trace = iter(trace)
+        #: Scalar trace cursor: the pending access (valid when
+        #: ``_have_current``), decomposed so neither path boxes records.
+        self._have_current = False
+        self._cur_is_read = False
+        self._cur_address = 0
         self._gap_left = 0
         self._mshrs_in_use = 0
         self._trace_done = False
@@ -80,12 +103,28 @@ class TraceCpu:
     # -- trace cursor -----------------------------------------------------
 
     def _advance_record(self) -> None:
+        if self._packed is not None:
+            index = self._index
+            if index >= self._packed_len:
+                self._have_current = False
+                self._trace_done = True
+                return
+            self._index = index + 1
+            self._gap_left = self._gaps[index]
+            self._cur_is_read = self._ops[index] == OP_READ
+            self._cur_address = self._addresses[index]
+            self._have_current = True
+            return
         try:
-            self._current = next(self._trace)
-            self._gap_left = self._current.gap
+            record = next(self._trace)
         except StopIteration:
-            self._current = None
+            self._have_current = False
             self._trace_done = True
+            return
+        self._gap_left = record.gap
+        self._cur_is_read = record.op is OpType.READ
+        self._cur_address = record.address
+        self._have_current = True
 
     @property
     def trace_done(self) -> bool:
@@ -124,7 +163,7 @@ class TraceCpu:
     def _fetch(self, now: int, budget: int) -> int:
         """Bring up to ``budget`` instructions into the window."""
         fetched = 0
-        while fetched < budget and self._current is not None:
+        while fetched < budget and self._have_current:
             if self._gap_left > 0:
                 want = min(self._gap_left, budget - fetched)
                 accepted = self.rob.push_instructions(want)
@@ -133,14 +172,14 @@ class TraceCpu:
                 if accepted < want:
                     break  # ROB full
                 continue
-            record = self._current
-            if record.op is OpType.READ:
+            address = self._cur_address
+            if self._cur_is_read:
                 if (self._mshrs_in_use >= self.params.mshr_entries
                         or self.rob.free_slots < 1
                         or not self.controller.can_accept(
-                            OpType.READ, record.address, now)):
+                            OpType.READ, address, now)):
                     break
-                req = MemRequest(OpType.READ, record.address,
+                req = MemRequest(OpType.READ, address,
                                  owner=self.owner)
                 self.controller.enqueue(req, now)
                 self.rob.push_load(req)
@@ -151,9 +190,9 @@ class TraceCpu:
                 if self.rob.free_slots < 1:
                     break
                 if not self.controller.can_accept(
-                        OpType.WRITE, record.address, now):
+                        OpType.WRITE, address, now):
                     break
-                req = MemRequest(OpType.WRITE, record.address,
+                req = MemRequest(OpType.WRITE, address,
                                  owner=self.owner)
                 self.controller.enqueue(req, now)
                 self.stores_issued += 1
@@ -182,16 +221,16 @@ class TraceCpu:
         """
         if not self.rob.head_blocked():
             return False
-        if self._trace_done or self._current is None:
+        if self._trace_done or not self._have_current:
             return True
         if self.rob.free_slots == 0:
             return True
         if self._gap_left > 0:
             return False  # can still fetch plain instructions
-        record = self._current
-        if record.op is OpType.READ:
+        address = self._cur_address
+        if self._cur_is_read:
             return (
                 self._mshrs_in_use >= self.params.mshr_entries
-                or not self.controller.has_space(OpType.READ, record.address)
+                or not self.controller.has_space(OpType.READ, address)
             )
-        return not self.controller.has_space(OpType.WRITE, record.address)
+        return not self.controller.has_space(OpType.WRITE, address)

@@ -244,11 +244,12 @@ class MemoryController:
 
     def _pop_completions(self, now: int) -> List[MemRequest]:
         done: List[MemRequest] = []
+        read_latencies: List[int] = []
         while self._completions and self._completions[0][0] <= now:
             _, _, req = heapq.heappop(self._completions)
             req.mark_completed()
             if req.is_read:
-                self.stats.count_read_latency(req.latency)
+                read_latencies.append(req.latency)
             if self.probe.enabled:
                 self.probe.emit(Event(
                     EV_COMPLETE, now, req_id=req.req_id, op=req.op.value,
@@ -260,6 +261,8 @@ class MemoryController:
                 if span is not None and self.probe.enabled:
                     emit_span(self.probe, span)
             done.append(req)
+        if read_latencies:
+            self.stats.count_read_latency_batch(read_latencies)
         return done
 
     def _issue_phase(self, now: int) -> None:

@@ -14,8 +14,9 @@ paper's figures need:
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, Iterable, List
 
 #: Latency histogram bucket edges, in memory cycles.
 LATENCY_BUCKETS = (8, 16, 32, 64, 128, 256, 512, 1024, 1 << 62)
@@ -156,10 +157,27 @@ class StatsCollector:
         self.read_latency_sum += latency
         if latency > self.read_latency_max:
             self.read_latency_max = latency
-        for index, edge in enumerate(LATENCY_BUCKETS):
-            if latency <= edge:
-                self.latency_histogram[index] += 1
-                break
+        # bisect_left finds the first edge >= latency — the identical
+        # bucket the linear `latency <= edge` scan selected.
+        self.latency_histogram[bisect_left(LATENCY_BUCKETS, latency)] += 1
+
+    def count_read_latency_batch(self, latencies: "Iterable[int]") -> None:
+        """Fold a burst of completed-read latencies in one call.
+
+        Equivalent to calling :meth:`count_read_latency` per element;
+        the controller hands over every read completing in one cycle so
+        the histogram update runs once per drain, not once per request.
+        """
+        histogram = self.latency_histogram
+        maximum = self.read_latency_max
+        total = 0
+        for latency in latencies:
+            total += latency
+            if latency > maximum:
+                maximum = latency
+            histogram[bisect_left(LATENCY_BUCKETS, latency)] += 1
+        self.read_latency_sum += total
+        self.read_latency_max = maximum
 
     # -- derived metrics ----------------------------------------------------
 

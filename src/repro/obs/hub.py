@@ -133,6 +133,12 @@ class FleetView:
     quarantines: int = 0
     pool_rebuilds: int = 0
     degraded: int = 0
+    #: Trace-pipeline counters (note_trace; zero for pre-packed runs).
+    trace_cache_hits: int = 0
+    trace_packed_bytes: int = 0
+    shm_segments: int = 0
+    shm_attached: int = 0
+    trace_fallback: Optional[str] = None
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -148,6 +154,11 @@ class FleetView:
             "quarantines": self.quarantines,
             "pool_rebuilds": self.pool_rebuilds,
             "degraded": self.degraded,
+            "trace_cache_hits": self.trace_cache_hits,
+            "trace_packed_bytes": self.trace_packed_bytes,
+            "shm_segments": self.shm_segments,
+            "shm_attached": self.shm_attached,
+            "trace_fallback": self.trace_fallback,
         }
 
 
@@ -368,6 +379,20 @@ class TelemetryHub:
     def note_workers(self, workers: int) -> None:
         self.fleet.workers = max(1, workers)
 
+    def note_trace(self, block: Dict[str, object]) -> None:
+        """Fold one engine's trace-pipeline counters into the fleet view.
+
+        ``block`` is :meth:`repro.sim.parallel.TraceStats.as_dict`; the
+        counters are cumulative per engine, so the fleet keeps the
+        latest report (engines call this once per batch).
+        """
+        fleet = self.fleet
+        fleet.trace_cache_hits = int(block.get("trace_cache_hits", 0))
+        fleet.trace_packed_bytes = int(block.get("packed_bytes", 0))
+        fleet.shm_segments = int(block.get("shm_segments", 0))
+        fleet.shm_attached = int(block.get("shm_attached", 0))
+        fleet.trace_fallback = block.get("fallback") or None
+
     def _engine_frame(self, payload: Dict[str, object]) -> None:
         self._seq += 1
         self.fold(TelemetryFrame(
@@ -541,6 +566,16 @@ def render_dashboard(hub: TelemetryHub, width: int = 72) -> str:
             f"quarantines {fleet.quarantines}  "
             f"pool rebuilds {fleet.pool_rebuilds}"
             + ("  DEGRADED-TO-SERIAL" if fleet.degraded else "")
+        )
+    if (fleet.trace_packed_bytes or fleet.shm_segments
+            or fleet.trace_cache_hits or fleet.trace_fallback):
+        lines.append(
+            f"traces {fleet.trace_packed_bytes} packed bytes  "
+            f"cache hits {fleet.trace_cache_hits}  "
+            f"shm {fleet.shm_segments} segment(s) / "
+            f"{fleet.shm_attached} job(s)"
+            + (f"  FALLBACK: {fleet.trace_fallback}"
+               if fleet.trace_fallback else "")
         )
     if hub.jobs:
         lines.append("")

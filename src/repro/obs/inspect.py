@@ -280,6 +280,7 @@ def summarize_manifest(data: Dict[str, object]) -> Dict[str, object]:
         "worker_utilization": data.get("worker_utilization", 0.0),
         "interrupted": bool(data.get("interrupted", False)),
         "engine": data.get("engine", {}),
+        "trace": data.get("trace", {}),
         "resilience": data.get("resilience", {}),
         "reliability": data.get("reliability", {}),
         "telemetry": data.get("telemetry", {}),
@@ -322,6 +323,18 @@ def render_engine_report(summary: Dict[str, object]) -> str:
             f"{engine.get('disk_hits', 0)} disk), "
             f"{engine.get('simulations', 0)} simulation(s), "
             f"{engine.get('corrupt_blobs', 0)} corrupt blob(s)"
+        )
+    trace: Dict[str, object] = summary.get("trace", {})
+    if any(v for v in trace.values() if v):
+        lines.append(
+            f"traces: {trace.get('unique_traces', 0)} unique "
+            f"({trace.get('packed_bytes', 0)} packed bytes), "
+            f"{trace.get('trace_cache_hits', 0)} cache hit(s), "
+            f"{trace.get('traces_generated', 0)} generated, "
+            f"{trace.get('shm_segments', 0)} shm segment(s) "
+            f"({trace.get('shm_attached', 0)} job(s) mapped)"
+            + (f", fallback: {trace['fallback']}"
+               if trace.get("fallback") else "")
         )
     resilience: Dict[str, int] = summary.get("resilience", {})
     if any(resilience.values()):

@@ -25,6 +25,7 @@ handed an engine instead.
 
 from __future__ import annotations
 
+import atexit
 import dataclasses
 import enum
 import hashlib
@@ -42,8 +43,17 @@ from ..config.params import SystemConfig
 from ..errors import ExperimentError
 from ..obs.manifest import JobRecord, RunManifest
 from ..obs.stream import activate, active_channel, init_worker, streamed_simulate
+from ..workloads.packed import (
+    PackedTrace,
+    SharedTraceRef,
+    TraceCache,
+    clear_trace_sources,
+    install_trace_sources,
+    resolve_trace,
+    trace_key,
+)
 from ..workloads.spec_profiles import get_profile
-from ..workloads.tracegen import generate_trace
+from ..workloads.tracegen import generate_packed_trace
 from .simulator import SimResult, simulate
 
 #: Bumped whenever a change to the simulator/bank models alters results;
@@ -126,17 +136,24 @@ def job_key(job: ExperimentJob, code_version: str = CODE_VERSION) -> str:
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
+def _job_profile(job: ExperimentJob):
+    """The benchmark profile a job simulates (seed override applied)."""
+    profile = get_profile(job.benchmark)
+    if job.seed is not None:
+        profile = replace(profile, seed=job.seed)
+    return profile
+
+
 def execute_job(job: ExperimentJob) -> SimResult:
     """Run one job to completion (the worker-process entry point).
 
     Module-level so it pickles into pool workers; deterministic because
-    the trace is regenerated from the (profile, seed) pair and the
-    simulator itself is seed-free.
+    the trace resolves through the packed-source registry — a mapped
+    shared-memory segment, an in-process install, or regeneration from
+    the (profile, seed) pair, all bit-identical — and the simulator
+    itself is seed-free.
     """
-    profile = get_profile(job.benchmark)
-    if job.seed is not None:
-        profile = replace(profile, seed=job.seed)
-    trace = generate_trace(profile, job.requests)
+    trace = resolve_trace(_job_profile(job), job.requests)
     channel = active_channel()
     if channel is not None:
         # Live telemetry: identical simulation, plus lifecycle/epoch
@@ -152,6 +169,91 @@ def _timed_execute_job(job: ExperimentJob) -> "tuple[SimResult, float]":
     started = time.monotonic()
     result = execute_job(job)
     return result, time.monotonic() - started
+
+
+def _pool_worker_init(
+    trace_refs: "tuple[SharedTraceRef, ...]",
+    raw_queue=None,
+    capacity: int = 0,
+) -> None:
+    """Pool-worker bootstrap: trace sources plus optional telemetry.
+
+    Installs the parent's shared-memory trace references (workers attach
+    lazily on first resolve) and, when a telemetry queue rides along,
+    binds the worker's streaming channel exactly as before.
+    """
+    install_trace_sources(shared=trace_refs)
+    if raw_queue is not None:
+        init_worker(raw_queue, capacity)
+
+
+# -- shared-memory segment lifetime ------------------------------------------
+
+#: Segments created by engines in this process and not yet unlinked.
+#: Teardown normally empties this per batch; the atexit hook is the
+#: safety net for interrupted runs (the chaos harness's crash paths), so
+#: no ``/dev/shm`` segment can outlive the parent process.
+_LIVE_SEGMENTS: Dict[str, object] = {}
+
+
+def _release_segment(shm) -> None:
+    """Close and unlink one owned segment (idempotent, best-effort)."""
+    _LIVE_SEGMENTS.pop(shm.name, None)
+    try:
+        shm.close()
+    except (OSError, BufferError):
+        pass
+    try:
+        shm.unlink()
+    except OSError:
+        pass
+
+
+def _cleanup_live_segments() -> None:
+    for shm in list(_LIVE_SEGMENTS.values()):
+        _release_segment(shm)
+
+
+atexit.register(_cleanup_live_segments)
+
+
+@dataclass
+class TraceStats:
+    """Where each batch's traces came from and how they travelled.
+
+    Parent-authoritative: the counters describe the transport the engine
+    set up, not per-worker observations (a worker whose attach fails
+    regenerates silently and bit-identically — that degradation shows up
+    in :func:`repro.workloads.packed.attach_failures` inside the worker,
+    not here).
+    """
+
+    unique_traces: int = 0
+    packed_bytes: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    generated: int = 0
+    shm_segments: int = 0
+    shm_bytes: int = 0
+    shm_attached: int = 0
+    inproc_jobs: int = 0
+    regenerated_jobs: int = 0
+    fallback: Optional[str] = None
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "unique_traces": self.unique_traces,
+            "packed_bytes": self.packed_bytes,
+            "trace_cache_hits": self.cache_hits,
+            "trace_cache_misses": self.cache_misses,
+            "traces_generated": self.generated,
+            "shm_segments": self.shm_segments,
+            "shm_bytes": self.shm_bytes,
+            "shm_attached": self.shm_attached,
+            "inproc_jobs": self.inproc_jobs,
+            "regenerated_jobs": self.regenerated_jobs,
+            "fallback": self.fallback,
+        }
 
 
 # -- persistent cache -------------------------------------------------------
@@ -440,6 +542,18 @@ class ParallelExperimentEngine:
             telemetry.note_workers(self.workers)
         self.disk = DiskResultCache(cache_dir) if cache_dir else None
         self.stats = EngineStats()
+        #: Content-addressed packed-trace blobs next to the result cache.
+        self.traces: Optional[TraceCache] = None
+        if self.disk is not None:
+            try:
+                self.traces = TraceCache(self.disk.root / "traces")
+            except OSError:
+                self.traces = None  # results cache survives; traces regen
+        self.trace_stats = TraceStats()
+        #: Segment locators handed to pool workers for the current batch.
+        self._shared_refs: "tuple[SharedTraceRef, ...]" = ()
+        #: Segments this engine created and must unlink at teardown.
+        self._segments: List = []
         self._memory: Dict[str, SimResult] = {}
         #: Per-job provenance across every batch this engine has run.
         self.records: List[JobRecord] = []
@@ -521,14 +635,17 @@ class ParallelExperimentEngine:
 
         done = len(jobs) - len(pending)
         self._report(done, len(jobs), started)
+        self._prepare_traces(pending)
         try:
             self._run_pending(pending, pending_keys, results,
                               len(jobs), started)
         finally:
+            self._teardown_traces()
             self._wall_s += time.monotonic() - started
             if self.disk is not None:
                 self.stats.corrupt_blobs = self.disk.corrupt_blobs
             if self.telemetry is not None:
+                self.telemetry.note_trace(self.trace_stats.as_dict())
                 activate(previous_channel)
                 # The pool (if any) has shut down by now, so worker
                 # feeder threads have flushed: one drain gets the tail.
@@ -604,6 +721,105 @@ class ParallelExperimentEngine:
         with pool:
             return list(pool.map(fn, items))
 
+    # -- trace fan-out -------------------------------------------------------
+
+    def _prepare_traces(self, pending: Sequence[ExperimentJob]) -> None:
+        """Materialise each distinct trace once and stage its transport.
+
+        Every pending job's trace is served from the content-addressed
+        trace cache or generated exactly once here in the parent, then
+        installed in the process-global registry (serial and
+        degraded-pool paths read it directly) and — when a pool will
+        actually run — exported into shared-memory segments that workers
+        map zero-copy.  Any shared-memory failure records a fallback
+        reason and leaves workers on the bit-identical regeneration
+        path.
+        """
+        if not pending:
+            return
+        stats = self.trace_stats
+        local: Dict[str, PackedTrace] = {}
+        for job in pending:
+            profile = _job_profile(job)
+            key = trace_key(profile, job.requests)
+            if key in local:
+                continue
+            packed = self.traces.get(key) if self.traces is not None else None
+            if packed is not None:
+                stats.cache_hits += 1
+            else:
+                if self.traces is not None:
+                    stats.cache_misses += 1
+                packed = generate_packed_trace(profile, job.requests)
+                stats.generated += 1
+                if self.traces is not None:
+                    self.traces.put(key, packed)
+            local[key] = packed
+        stats.unique_traces += len(local)
+        stats.packed_bytes += sum(p.column_bytes for p in local.values())
+        install_trace_sources(local=local)
+        self._shared_refs = ()
+        if self.workers > 1 and len(pending) > 1:
+            self._shared_refs = self._export_segments(local)
+            if self._shared_refs:
+                stats.shm_attached += len(pending)
+            else:
+                stats.regenerated_jobs += len(pending)
+        else:
+            stats.inproc_jobs += len(pending)
+
+    def _export_segments(
+        self, local: Dict[str, PackedTrace]
+    ) -> "tuple[SharedTraceRef, ...]":
+        """Write each packed blob into its own shared-memory segment.
+
+        Returns the locator tuple for the pool initializer, or ``()``
+        after releasing anything partially created — all-or-nothing, so
+        workers either map every trace or regenerate every trace.
+        """
+        try:
+            from multiprocessing import shared_memory
+        except ImportError as exc:
+            self.trace_stats.fallback = f"shared memory unavailable: {exc}"
+            return ()
+        refs: List[SharedTraceRef] = []
+        created: List = []
+        for n, (key, packed) in enumerate(local.items()):
+            blob = packed.to_bytes()
+            name = f"repro-trace-{os.getpid()}-{key[:8]}-{n}"
+            try:
+                shm = shared_memory.SharedMemory(
+                    name=name, create=True, size=len(blob)
+                )
+                shm.buf[: len(blob)] = blob
+            except (OSError, ValueError) as exc:
+                for segment in created:
+                    _release_segment(segment)
+                self.trace_stats.fallback = f"segment create failed: {exc}"
+                return ()
+            created.append(shm)
+            _LIVE_SEGMENTS[shm.name] = shm
+            refs.append(SharedTraceRef(key=key, name=shm.name,
+                                       nbytes=len(blob)))
+        self._segments.extend(created)
+        self.trace_stats.shm_segments += len(created)
+        self.trace_stats.shm_bytes += sum(ref.nbytes for ref in refs)
+        return tuple(refs)
+
+    def _teardown_traces(self) -> None:
+        """Drop installed sources and unlink this batch's segments.
+
+        Runs in ``run_jobs``'s finally, so interrupts (the resilient
+        engine's KeyboardInterrupt manifest path included) release every
+        segment; :func:`_cleanup_live_segments` backstops anything that
+        escapes.
+        """
+        clear_trace_sources()
+        self._shared_refs = ()
+        segments, self._segments = self._segments, []
+        for shm in segments:
+            _release_segment(shm)
+
     # -- internals ----------------------------------------------------------
 
     def _execute(self, pending: List[ExperimentJob], total: int,
@@ -663,6 +879,7 @@ class ParallelExperimentEngine:
             wall_s=round(self._wall_s, 6),
             busy_s=round(self._busy_s, 6),
             engine=self.stats.as_dict(),
+            trace=self.trace_stats.as_dict(),
             reliability=dict(self.reliability_totals),
             telemetry=(self.telemetry.manifest_block()
                        if self.telemetry is not None else {}),
@@ -685,20 +902,20 @@ class ParallelExperimentEngine:
 
     def _make_pool(self, n_tasks: int) -> Optional[ProcessPoolExecutor]:
         """A pool sized to the work, or None when the platform refuses."""
-        initializer = None
-        initargs = ()
+        raw_queue = None
+        capacity = 0
         if self.telemetry is not None:
             # Bind the shared frame queue inside every worker.  The
             # queue rides the process-spawn path (initargs), where
             # multiprocessing queues are legitimately shareable.
             channel = self.telemetry.start(pooled=True)
-            initializer = init_worker
-            initargs = (channel.queue, channel.capacity)
+            raw_queue = channel.queue
+            capacity = channel.capacity
         try:
             return ProcessPoolExecutor(
                 max_workers=min(self.workers, n_tasks),
-                initializer=initializer,
-                initargs=initargs,
+                initializer=_pool_worker_init,
+                initargs=(self._shared_refs, raw_queue, capacity),
             )
         except (OSError, ValueError, NotImplementedError):
             return None

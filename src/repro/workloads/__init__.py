@@ -1,6 +1,19 @@
 """Workloads: SPEC2006-like profiles, synthetic kernels, trace I/O."""
 
 from .characterize import TraceCharacter, characterize, fidelity_report
+from .packed import (
+    OP_READ,
+    OP_WRITE,
+    PACKED_FORMAT_VERSION,
+    PackedTrace,
+    RecordView,
+    SharedTraceRef,
+    TraceCache,
+    clear_trace_sources,
+    install_trace_sources,
+    resolve_trace,
+    trace_key,
+)
 from .record import TraceRecord, read_fraction, total_instructions, trace_mpki
 from .spec_profiles import (
     PROFILES,
@@ -18,12 +31,18 @@ from .synthetic import (
 )
 from .trace_io import (
     read_nvmain_trace,
+    read_nvmain_trace_packed,
     read_trace,
+    read_trace_packed,
     trace_to_string,
     write_nvmain_trace,
     write_trace,
 )
-from .tracegen import ProfileTraceGenerator, generate_trace
+from .tracegen import (
+    ProfileTraceGenerator,
+    generate_packed_trace,
+    generate_trace,
+)
 from .transform import (
     concat_traces,
     interleave_traces,
@@ -36,6 +55,17 @@ __all__ = [
     "TraceCharacter",
     "characterize",
     "fidelity_report",
+    "OP_READ",
+    "OP_WRITE",
+    "PACKED_FORMAT_VERSION",
+    "PackedTrace",
+    "RecordView",
+    "SharedTraceRef",
+    "TraceCache",
+    "clear_trace_sources",
+    "install_trace_sources",
+    "resolve_trace",
+    "trace_key",
     "TraceRecord",
     "read_fraction",
     "total_instructions",
@@ -51,11 +81,14 @@ __all__ = [
     "stream_kernel",
     "strided_kernel",
     "read_nvmain_trace",
+    "read_nvmain_trace_packed",
     "read_trace",
+    "read_trace_packed",
     "trace_to_string",
     "write_nvmain_trace",
     "write_trace",
     "ProfileTraceGenerator",
+    "generate_packed_trace",
     "generate_trace",
     "concat_traces",
     "interleave_traces",

@@ -1,0 +1,636 @@
+"""Packed struct-of-arrays traces and their zero-copy transport.
+
+A trace of N accesses used to live as N frozen ``TraceRecord`` objects —
+three boxed ints and a dataclass header each, built one at a time and
+pickled one at a time into every pool worker.  This module replaces that
+representation on the hot paths:
+
+* :class:`PackedTrace` — three parallel stdlib ``array('q')`` columns
+  (``gaps`` / ``ops`` / ``addresses``), appendable while a generator or
+  reader fills them, indexable without materialising records,
+* a versioned binary **blob format** (:data:`PACKED_MAGIC` + embedded
+  SHA-256, the same framing idiom as the result-cache blobs) so a trace
+  serialises to one contiguous byte string,
+* :func:`PackedTrace.from_buffer` — a **zero-copy** loader that maps the
+  columns straight out of any buffer (a ``multiprocessing``
+  shared-memory segment, an mmap) via ``memoryview.cast``,
+* :class:`TraceCache` — a content-addressed on-disk store keyed by
+  :func:`trace_key` (profile fields, length, line size, format version),
+  so a sweep generates each distinct trace exactly once,
+* a process-global **trace source registry** — the parent engine
+  installs in-process traces and/or shared-memory references;
+  :func:`resolve_trace` serves workers from those sources and falls back
+  to deterministic regeneration, so every transport failure degrades to
+  the bit-identical slow path,
+* :class:`RecordView` — a lazy, list-like adapter that keeps every
+  existing ``List[TraceRecord]`` caller working against packed columns
+  without constructing records up front.
+
+Bit-identity contract: a packed trace and its record form describe the
+identical access stream, the blob round-trips byte-for-byte, and every
+consumer (generator, readers, CPU model, transports) produces results
+indistinguishable from the record pipeline.
+
+An optional numpy fast path accelerates whole-column reductions and
+foreign-endian blob decoding.  It is feature-gated behind
+``REPRO_PACKED_NUMPY=1`` (the package keeps ``dependencies = []``) and
+pinned bit-identical to the pure-python path by the property suite —
+integer column sums and byte swaps are exact, so enabling it can never
+change a result.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import sys
+import tempfile
+from array import array
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional
+
+from ..errors import TraceFormatError
+from ..memsys.request import OpType
+from .record import TraceRecord
+from .spec_profiles import BenchmarkProfile
+
+#: Blob format version; part of the frame header *and* every cache key,
+#: so a layout change can never satisfy a key minted by older code.
+PACKED_FORMAT_VERSION = 1
+
+#: Framed-blob magic: ``magic + sha256-hex + newline + payload`` — the
+#: same self-verifying framing as the result cache's ``BLOB_MAGIC``.
+PACKED_MAGIC = b"repro-ptrace-v1\n"
+
+#: Operation codes in the ``ops`` column.
+OP_READ = 0
+OP_WRITE = 1
+
+#: Column order inside the blob payload (also the header's manifest).
+COLUMNS = ("gaps", "ops", "addresses")
+
+_TYPECODE = "q"
+_ITEMSIZE = array(_TYPECODE).itemsize
+
+#: Environment flag gating the optional numpy fast path.
+NUMPY_ENV = "REPRO_PACKED_NUMPY"
+
+
+def _numpy_or_none():
+    """The numpy module when the fast path is enabled and importable."""
+    if os.environ.get(NUMPY_ENV, "").lower() not in ("1", "true", "on"):
+        return None
+    try:
+        import numpy
+    except ImportError:
+        return None
+    return numpy
+
+
+def _op_of(code: int) -> OpType:
+    return OpType.READ if code == OP_READ else OpType.WRITE
+
+
+class PackedTrace:
+    """A trace as three parallel int64 columns.
+
+    Columns are stdlib ``array('q')`` when built locally and appendable;
+    traces loaded by :meth:`from_buffer` hold ``memoryview`` columns
+    cast straight over the source buffer (zero copies, read-only use).
+    Both support index access and record iteration identically.
+    """
+
+    __slots__ = ("gaps", "ops", "addresses", "_owner", "_views")
+
+    def __init__(self, gaps=None, ops=None, addresses=None, owner=None):
+        self.gaps = gaps if gaps is not None else array(_TYPECODE)
+        self.ops = ops if ops is not None else array(_TYPECODE)
+        self.addresses = (
+            addresses if addresses is not None else array(_TYPECODE)
+        )
+        if not (len(self.gaps) == len(self.ops) == len(self.addresses)):
+            raise TraceFormatError(
+                "packed columns disagree on length: "
+                f"{len(self.gaps)}/{len(self.ops)}/{len(self.addresses)}"
+            )
+        #: Object keeping the column buffers alive (e.g. a SharedMemory);
+        #: closed by :meth:`close`, never unlinked here — the segment's
+        #: creator owns its lifetime.
+        self._owner = owner
+        self._views: List[memoryview] = []
+
+    # -- construction -------------------------------------------------------
+
+    def append(self, gap: int, op_code: int, address: int) -> None:
+        """Append one access (columns must be local arrays)."""
+        self.gaps.append(gap)
+        self.ops.append(op_code)
+        self.addresses.append(address)
+
+    @classmethod
+    def from_records(cls, records: Iterable[TraceRecord]) -> "PackedTrace":
+        packed = cls()
+        append = packed.append
+        for record in records:
+            append(
+                record.gap,
+                OP_WRITE if record.op is OpType.WRITE else OP_READ,
+                record.address,
+            )
+        return packed
+
+    # -- record access ------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.gaps)
+
+    def record(self, index: int) -> TraceRecord:
+        """The access at ``index`` as a (validated) TraceRecord."""
+        return TraceRecord(
+            self.gaps[index], _op_of(self.ops[index]), self.addresses[index]
+        )
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        gaps, ops, addresses = self.gaps, self.ops, self.addresses
+        for i in range(len(gaps)):
+            yield TraceRecord(gaps[i], _op_of(ops[i]), addresses[i])
+
+    def to_records(self) -> List[TraceRecord]:
+        return list(self)
+
+    def view(self) -> "RecordView":
+        """A lazy list-like facade for record-typed callers."""
+        return RecordView(self)
+
+    # -- whole-column reductions --------------------------------------------
+
+    def total_instructions(self) -> int:
+        """Instructions represented (gaps plus the accesses themselves)."""
+        np = _numpy_or_none()
+        if np is not None and len(self.gaps):
+            return int(np.frombuffer(self.gaps, dtype=np.int64).sum()) \
+                + len(self.gaps)
+        return sum(self.gaps) + len(self.gaps)
+
+    def read_count(self) -> int:
+        """Number of read accesses."""
+        np = _numpy_or_none()
+        if np is not None and len(self.ops):
+            ops = np.frombuffer(self.ops, dtype=np.int64)
+            return int((ops == OP_READ).sum())
+        return sum(1 for code in self.ops if code == OP_READ)
+
+    # -- binary blob format -------------------------------------------------
+
+    @property
+    def column_bytes(self) -> int:
+        """Raw column payload size (excludes header/framing)."""
+        return 3 * len(self) * _ITEMSIZE
+
+    def _header(self) -> bytes:
+        header = {
+            "format": PACKED_FORMAT_VERSION,
+            "columns": list(COLUMNS),
+            "itemsize": _ITEMSIZE,
+            "length": len(self),
+            "byteorder": sys.byteorder,
+        }
+        return json.dumps(
+            header, sort_keys=True, separators=(",", ":")
+        ).encode("ascii") + b"\n"
+
+    def to_bytes(self) -> bytes:
+        """The framed, self-verifying blob for this trace."""
+        parts = [self._header()]
+        for name in COLUMNS:
+            column = getattr(self, name)
+            parts.append(
+                column.tobytes() if isinstance(column, array)
+                else bytes(column)
+            )
+        payload = b"".join(parts)
+        digest = hashlib.sha256(payload).hexdigest().encode("ascii")
+        return PACKED_MAGIC + digest + b"\n" + payload
+
+    @staticmethod
+    def _parse_frame(data) -> "tuple[dict, int]":
+        """(header, payload offset) of a framed blob; verifies the digest.
+
+        Accepts bytes or a memoryview; hashing reads the buffer but
+        copies nothing.
+        """
+        magic_len = len(PACKED_MAGIC)
+        if bytes(data[:magic_len]) != PACKED_MAGIC:
+            raise TraceFormatError("not a packed trace blob (bad magic)")
+        header_end = magic_len + 64
+        if len(data) <= header_end or bytes(
+                data[header_end:header_end + 1]) != b"\n":
+            raise TraceFormatError("truncated packed trace blob")
+        digest = bytes(data[magic_len:header_end]).decode("ascii", "replace")
+        payload_start = header_end + 1
+        # The header line bounds the payload; find its newline first so
+        # oversized carriers (page-rounded shm segments) parse exactly.
+        probe = bytes(data[payload_start:payload_start + 512])
+        line_end = probe.find(b"\n")
+        if line_end < 0:
+            raise TraceFormatError("packed trace header line missing")
+        try:
+            header = json.loads(probe[:line_end].decode("ascii"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise TraceFormatError(
+                f"unreadable packed trace header: {exc}"
+            ) from exc
+        if header.get("format") != PACKED_FORMAT_VERSION:
+            raise TraceFormatError(
+                f"unsupported packed trace format {header.get('format')!r}"
+            )
+        if (header.get("columns") != list(COLUMNS)
+                or header.get("itemsize") != _ITEMSIZE
+                or not isinstance(header.get("length"), int)
+                or header["length"] < 0):
+            raise TraceFormatError("malformed packed trace header")
+        payload_len = (line_end + 1) + 3 * header["length"] * _ITEMSIZE
+        payload_end = payload_start + payload_len
+        if len(data) < payload_end:
+            raise TraceFormatError("packed trace blob shorter than header")
+        actual = hashlib.sha256(data[payload_start:payload_end]).hexdigest()
+        if actual != digest:
+            raise TraceFormatError("packed trace checksum mismatch")
+        return header, payload_start + line_end + 1
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "PackedTrace":
+        """Decode a framed blob into locally-owned columns (one copy)."""
+        header, offset = cls._parse_frame(data)
+        length = header["length"]
+        nbytes = length * _ITEMSIZE
+        columns = []
+        swap = header["byteorder"] != sys.byteorder
+        np = _numpy_or_none() if swap else None
+        for i in range(3):
+            start = offset + i * nbytes
+            column = array(_TYPECODE)
+            if swap and np is not None:
+                foreign = ">i8" if header["byteorder"] == "big" else "<i8"
+                swapped = np.frombuffer(
+                    data[start:start + nbytes], dtype=foreign
+                ).astype(np.int64)
+                column.frombytes(swapped.tobytes())
+            else:
+                column.frombytes(bytes(data[start:start + nbytes]))
+                if swap:
+                    column.byteswap()
+            columns.append(column)
+        return cls(*columns)
+
+    @classmethod
+    def from_buffer(cls, buffer: memoryview,
+                    owner=None) -> "PackedTrace":
+        """Map a framed blob's columns zero-copy out of ``buffer``.
+
+        ``owner`` (e.g. a ``SharedMemory``) is retained and closed by
+        :meth:`close` once the column views are released.  Foreign-endian
+        blobs fall back to the copying :meth:`from_bytes` decode.
+        """
+        views: List[memoryview] = [buffer]
+        try:
+            header, offset = cls._parse_frame(buffer)
+        except TraceFormatError:
+            buffer.release()
+            raise
+        if header["byteorder"] != sys.byteorder:
+            packed = cls.from_bytes(bytes(buffer))
+            buffer.release()
+            packed._owner = owner
+            return packed
+        length = header["length"]
+        nbytes = length * _ITEMSIZE
+        columns = []
+        for i in range(3):
+            start = offset + i * nbytes
+            view = buffer[start:start + nbytes].cast(_TYPECODE)
+            views.append(view)
+            columns.append(view)
+        packed = cls(*columns, owner=owner)
+        packed._views = views
+        return packed
+
+    def close(self) -> None:
+        """Release mapped column views and close the owning segment."""
+        for view in self._views:
+            try:
+                view.release()
+            except BufferError:
+                pass
+        self._views = []
+        owner, self._owner = self._owner, None
+        if owner is not None:
+            try:
+                owner.close()
+            except (OSError, BufferError):
+                pass
+
+
+class RecordView:
+    """Lazy list-like adapter over a :class:`PackedTrace`.
+
+    Existing callers typed against ``List[TraceRecord]`` keep working —
+    length, iteration, indexing, slicing, equality and concatenation all
+    behave like the list did — but no ``TraceRecord`` exists until the
+    moment an element is actually touched.
+    """
+
+    __slots__ = ("packed",)
+    __hash__ = None
+
+    def __init__(self, packed: PackedTrace):
+        self.packed = packed
+
+    def __len__(self) -> int:
+        return len(self.packed)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.packed)
+
+    def __getitem__(
+        self, index: "int | slice"
+    ) -> "TraceRecord | List[TraceRecord]":
+        if isinstance(index, slice):
+            packed = self.packed
+            return [packed.record(i)
+                    for i in range(*index.indices(len(packed)))]
+        n = len(self.packed)
+        if index < 0:
+            index += n
+        if not 0 <= index < n:
+            raise IndexError("trace index out of range")
+        return self.packed.record(index)
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, RecordView):
+            other = other.packed
+        if isinstance(other, PackedTrace):
+            mine = self.packed
+            return (mine.gaps == other.gaps and mine.ops == other.ops
+                    and mine.addresses == other.addresses)
+        if not isinstance(other, (list, tuple)):
+            return NotImplemented
+        if len(other) != len(self):
+            return False
+        return all(a == b for a, b in zip(self, other))
+
+    def __add__(self, other):
+        return list(self) + list(other)
+
+    def __radd__(self, other):
+        return list(other) + list(self)
+
+    def __repr__(self) -> str:
+        return f"RecordView({len(self)} records)"
+
+
+# -- content-addressed keys and the on-disk trace cache ----------------------
+
+
+def trace_key(profile: BenchmarkProfile, count: int,
+              line_bytes: Optional[int] = None) -> str:
+    """Content-addressed key for one generated trace.
+
+    Covers every input the generator consumes — all profile fields (the
+    seed included), the requested length, the line size — plus the blob
+    format version, so any difference that could change a single byte of
+    the packed trace changes the key.
+    """
+    if line_bytes is None:
+        from .tracegen import LINE_BYTES
+
+        line_bytes = LINE_BYTES
+    payload = json.dumps(
+        {
+            "format": PACKED_FORMAT_VERSION,
+            "profile": {
+                f.name: getattr(profile, f.name)
+                for f in dataclasses.fields(profile)
+            },
+            "requests": count,
+            "line_bytes": line_bytes,
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class TraceCache:
+    """Content-addressed packed-trace blobs under a cache directory.
+
+    Layout mirrors the result cache: ``<root>/<key[:2]>/<key>.ptrace``,
+    atomic tempfile+rename writes, self-verifying blobs.  A blob that
+    fails verification is moved into ``<root>/quarantine/`` and treated
+    as a miss, so corruption costs one regeneration, never a wrong
+    trace.
+    """
+
+    def __init__(self, root: "str | os.PathLike[str]"):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.corrupt = 0
+        self.put_errors = 0
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.ptrace"
+
+    def get(self, key: str) -> Optional[PackedTrace]:
+        path = self._path(key)
+        try:
+            data = path.read_bytes()
+        except OSError:
+            self.misses += 1
+            return None
+        try:
+            packed = PackedTrace.from_bytes(data)
+        except TraceFormatError:
+            self._quarantine(path)
+            self.corrupt += 1
+            self.misses += 1
+            return None
+        self.hits += 1
+        return packed
+
+    def put(self, key: str, packed: PackedTrace) -> Optional[int]:
+        """Atomically persist one trace; returns the blob size (bytes).
+
+        A failed write (disk full, read-only cache) is counted and
+        tolerated: the trace lives on in memory and is regenerated next
+        run.
+        """
+        path = self._path(key)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(
+                dir=path.parent, suffix=".tmp"
+            )
+        except OSError:
+            self.put_errors += 1
+            return None
+        blob = packed.to_bytes()
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(blob)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_name, path)
+        except OSError:
+            self.put_errors += 1
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            return None
+        return len(blob)
+
+    def _quarantine(self, path: Path) -> None:
+        dest_dir = self.root / "quarantine"
+        try:
+            dest_dir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, dest_dir / f"{path.name}.corrupt")
+        except OSError:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*/*.ptrace")
+                   if _.parent.name != "quarantine")
+
+
+# -- the process-global trace source registry --------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class SharedTraceRef:
+    """Locator for one packed trace living in a shared-memory segment."""
+
+    key: str        #: :func:`trace_key` of the trace inside
+    name: str       #: shared-memory segment name
+    nbytes: int     #: exact blob length (segments may be page-rounded)
+
+
+#: Traces resolvable without regeneration in *this* process.
+_IN_PROCESS: Dict[str, PackedTrace] = {}
+#: Shared-memory locators installed by the pool initializer.
+_SHARED_REFS: Dict[str, SharedTraceRef] = {}
+#: Per-process cache of attached segments (attach once per worker).
+_ATTACHED: Dict[str, PackedTrace] = {}
+#: Shared-memory attaches that failed and fell back to regeneration.
+_ATTACH_FAILURES = 0
+
+
+def install_trace_sources(
+    local: Optional[Dict[str, PackedTrace]] = None,
+    shared: Optional[Iterable[SharedTraceRef]] = None,
+) -> None:
+    """Install this process's trace sources (replacing any previous).
+
+    The parent engine installs ``local`` before running serially (and as
+    the degraded-pool fallback); the pool initializer installs
+    ``shared`` inside each worker.
+    """
+    clear_trace_sources()
+    if local:
+        _IN_PROCESS.update(local)
+    if shared:
+        _SHARED_REFS.update({ref.key: ref for ref in shared})
+
+
+def clear_trace_sources() -> None:
+    """Drop every installed source and close attached segments."""
+    _IN_PROCESS.clear()
+    _SHARED_REFS.clear()
+    for packed in _ATTACHED.values():
+        packed.close()
+    _ATTACHED.clear()
+
+
+def attach_failures() -> int:
+    """Shared-memory attaches that degraded to regeneration (telemetry)."""
+    return _ATTACH_FAILURES
+
+
+def _open_untracked(name: str):
+    """Attach a segment without registering it with the resource tracker.
+
+    Workers only *attach*; the creating process owns unlink.  Left
+    registered, a worker's resource tracker would unlink segments the
+    parent is still serving to its siblings (bpo-39959) — and under the
+    fork start method the tracker is *shared*, so a worker-side
+    unregister would instead erase the parent's registration.  Plugging
+    ``register`` for the duration of the attach sidesteps both.
+    """
+    from multiprocessing import resource_tracker, shared_memory
+
+    original = resource_tracker.register
+
+    def register(name, rtype):
+        if rtype != "shared_memory":
+            original(name, rtype)
+
+    resource_tracker.register = register
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original
+
+
+def _attach(ref: SharedTraceRef) -> Optional[PackedTrace]:
+    global _ATTACH_FAILURES
+    try:
+        shm = _open_untracked(ref.name)
+    except (OSError, ValueError, ImportError):
+        _ATTACH_FAILURES += 1
+        return None
+    try:
+        return PackedTrace.from_buffer(
+            memoryview(shm.buf)[:ref.nbytes], owner=shm
+        )
+    except TraceFormatError:
+        _ATTACH_FAILURES += 1
+        try:
+            shm.close()
+        except (OSError, BufferError):
+            pass
+        return None
+
+
+def resolve_trace(profile: BenchmarkProfile, count: int,
+                  line_bytes: Optional[int] = None) -> PackedTrace:
+    """The packed trace for (profile, count) via the cheapest source.
+
+    Resolution order: in-process installs, already-attached segments,
+    attachable shared-memory references, then deterministic
+    regeneration.  Every step yields the bit-identical trace, so a
+    transport failure can only cost time, never correctness.
+    """
+    from .tracegen import LINE_BYTES, generate_packed_trace
+
+    if line_bytes is None:
+        line_bytes = LINE_BYTES
+    key = trace_key(profile, count, line_bytes)
+    packed = _IN_PROCESS.get(key)
+    if packed is not None:
+        return packed
+    packed = _ATTACHED.get(key)
+    if packed is not None:
+        return packed
+    ref = _SHARED_REFS.get(key)
+    if ref is not None:
+        packed = _attach(ref)
+        if packed is not None:
+            _ATTACHED[key] = packed
+            return packed
+    return generate_packed_trace(profile, count, line_bytes)

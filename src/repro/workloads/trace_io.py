@@ -10,19 +10,33 @@ Two formats are supported:
   deltas are converted to instruction gaps with a cycles-per-instruction
   factor; on export, gaps are converted back.  Data payloads are not
   simulated and are written as zeros.
+
+Readers stream straight into :class:`~repro.workloads.packed.PackedTrace`
+columns — a million-access file costs three int64 arrays, not a million
+``TraceRecord`` objects — and return a lazy
+:class:`~repro.workloads.packed.RecordView` so record-typed callers are
+unchanged.  ``read_trace_packed`` / ``read_nvmain_trace_packed`` expose
+the columns directly for packed-aware consumers.
 """
 
 from __future__ import annotations
 
 import io
 from pathlib import Path
-from typing import Iterable, Iterator, List, TextIO, Union
+from typing import Iterable, TextIO, Union
 
 from ..errors import TraceFormatError
 from ..memsys.request import OpType
+from .packed import OP_READ, OP_WRITE, PackedTrace, RecordView
 from .record import TraceRecord
 
 PathOrFile = Union[str, Path, TextIO]
+
+#: ``R``/``W`` tokens to column op codes (parse errors handled below).
+_OP_CODES = {"R": OP_READ, "W": OP_WRITE}
+
+#: Column op codes back to ``R``/``W`` tokens.
+_OP_TOKENS = {OP_READ: "R", OP_WRITE: "W"}
 
 
 def _open_for_read(source: PathOrFile):
@@ -37,16 +51,30 @@ def _open_for_write(target: PathOrFile):
     return target, False
 
 
+def _packed_rows(records: "Iterable[TraceRecord] | PackedTrace | RecordView"):
+    """(gap, op_code, address) rows without materialising records."""
+    if isinstance(records, RecordView):
+        records = records.packed
+    if isinstance(records, PackedTrace):
+        return zip(records.gaps, records.ops, records.addresses)
+    return (
+        (
+            record.gap,
+            OP_WRITE if record.op is OpType.WRITE else OP_READ,
+            record.address,
+        )
+        for record in records
+    )
+
+
 def write_trace(records: Iterable[TraceRecord], target: PathOrFile) -> int:
     """Write records in native format; returns the line count."""
     handle, owned = _open_for_write(target)
     count = 0
     try:
         handle.write("# repro native trace: <gap> <R|W> <hex-address>\n")
-        for record in records:
-            handle.write(
-                f"{record.gap} {record.op.value} 0x{record.address:x}\n"
-            )
+        for gap, op_code, address in _packed_rows(records):
+            handle.write(f"{gap} {_OP_TOKENS[op_code]} 0x{address:x}\n")
             count += 1
     finally:
         if owned:
@@ -54,10 +82,12 @@ def write_trace(records: Iterable[TraceRecord], target: PathOrFile) -> int:
     return count
 
 
-def read_trace(source: PathOrFile) -> List[TraceRecord]:
-    """Read a native-format trace."""
+def read_trace_packed(source: PathOrFile) -> PackedTrace:
+    """Stream a native-format trace into packed columns."""
     handle, owned = _open_for_read(source)
-    records: List[TraceRecord] = []
+    trace = PackedTrace()
+    append = trace.append
+    op_codes = _OP_CODES
     try:
         for line_no, line in enumerate(handle, start=1):
             text = line.strip()
@@ -71,15 +101,28 @@ def read_trace(source: PathOrFile) -> List[TraceRecord]:
                 )
             try:
                 gap = int(parts[0])
-                op = OpType.from_token(parts[1])
+                op_code = op_codes.get(parts[1])
+                if op_code is None:
+                    op_code = _OP_CODES[OpType.from_token(parts[1]).value]
                 address = int(parts[2], 0)
             except ValueError as exc:
                 raise TraceFormatError(f"line {line_no}: {exc}") from exc
-            records.append(TraceRecord(gap, op, address))
+            # Same validation (and exceptions) TraceRecord applied when
+            # the reader materialised records.
+            if gap < 0:
+                raise ValueError(f"negative instruction gap: {gap}")
+            if address < 0:
+                raise ValueError(f"negative address: {address:#x}")
+            append(gap, op_code, address)
     finally:
         if owned:
             handle.close()
-    return records
+    return trace
+
+
+def read_trace(source: PathOrFile) -> RecordView:
+    """Read a native-format trace (lazy record view over packed columns)."""
+    return RecordView(read_trace_packed(source))
 
 
 def write_nvmain_trace(
@@ -95,10 +138,10 @@ def write_nvmain_trace(
     cycle = 0
     count = 0
     try:
-        for record in records:
-            cycle += max(1, round((record.gap + 1) * cycles_per_instruction))
+        for gap, op_code, address in _packed_rows(records):
+            cycle += max(1, round((gap + 1) * cycles_per_instruction))
             handle.write(
-                f"{cycle} {record.op.value} 0x{record.address:x} 0 "
+                f"{cycle} {_OP_TOKENS[op_code]} 0x{address:x} 0 "
                 f"{thread_id}\n"
             )
             count += 1
@@ -108,14 +151,16 @@ def write_nvmain_trace(
     return count
 
 
-def read_nvmain_trace(
+def read_nvmain_trace_packed(
     source: PathOrFile, cycles_per_instruction: float = 0.5
-) -> List[TraceRecord]:
-    """Import an NVMain-format trace, converting cycles to gaps."""
+) -> PackedTrace:
+    """Stream an NVMain-format trace into packed columns."""
     if cycles_per_instruction <= 0:
         raise TraceFormatError("cycles_per_instruction must be positive")
     handle, owned = _open_for_read(source)
-    records: List[TraceRecord] = []
+    trace = PackedTrace()
+    append = trace.append
+    op_codes = _OP_CODES
     last_cycle = 0
     try:
         for line_no, line in enumerate(handle, start=1):
@@ -129,7 +174,9 @@ def read_nvmain_trace(
                 )
             try:
                 cycle = int(parts[0])
-                op = OpType.from_token(parts[1])
+                op_code = op_codes.get(parts[1])
+                if op_code is None:
+                    op_code = _OP_CODES[OpType.from_token(parts[1]).value]
                 address = int(parts[2], 0)
             except ValueError as exc:
                 raise TraceFormatError(f"line {line_no}: {exc}") from exc
@@ -140,11 +187,22 @@ def read_nvmain_trace(
             delta = cycle - last_cycle
             last_cycle = cycle
             gap = max(0, round(delta / cycles_per_instruction) - 1)
-            records.append(TraceRecord(gap, op, address))
+            if address < 0:
+                raise ValueError(f"negative address: {address:#x}")
+            append(gap, op_code, address)
     finally:
         if owned:
             handle.close()
-    return records
+    return trace
+
+
+def read_nvmain_trace(
+    source: PathOrFile, cycles_per_instruction: float = 0.5
+) -> RecordView:
+    """Import an NVMain-format trace, converting cycles to gaps."""
+    return RecordView(
+        read_nvmain_trace_packed(source, cycles_per_instruction)
+    )
 
 
 def trace_to_string(records: Iterable[TraceRecord]) -> str:

@@ -21,9 +21,10 @@ same stream (``random.Random(profile.seed)``).
 from __future__ import annotations
 
 import random
-from typing import Iterator, List
+from typing import Iterator, Tuple
 
 from ..memsys.request import OpType
+from .packed import OP_READ, OP_WRITE, PackedTrace, RecordView
 from .record import TraceRecord
 from .spec_profiles import BenchmarkProfile
 
@@ -81,23 +82,61 @@ class ProfileTraceGenerator:
             self._walkers[index] = self._rng.randrange(self._footprint_lines)
         return self._walkers[index]
 
-    def records(self, count: int) -> Iterator[TraceRecord]:
-        """Yield ``count`` trace records."""
+    def packed_rows(self, count: int) -> Iterator[Tuple[int, int, int]]:
+        """Yield ``count`` accesses as raw ``(gap, op_code, address)`` ints.
+
+        This is the generator's native output: the RNG draw order (op
+        draw, then line draws, then gap draws) is the bit-identity
+        contract shared with :meth:`records`, pinned by the packed
+        equivalence property suite.
+        """
         if count < 0:
             raise ValueError("count must be non-negative")
         write_fraction = self.profile.write_fraction
+        rng_random = self._rng.random
+        line_bytes = self.line_bytes
+        next_line = self._next_line
+        next_gap = self._next_gap
         for _ in range(count):
-            op = (
-                OpType.WRITE
-                if self._rng.random() < write_fraction
-                else OpType.READ
+            op_code = (
+                OP_WRITE if rng_random() < write_fraction else OP_READ
             )
-            address = self._next_line() * self.line_bytes
-            yield TraceRecord(self._next_gap(), op, address)
+            address = next_line() * line_bytes
+            yield next_gap(), op_code, address
+
+    def records(self, count: int) -> Iterator[TraceRecord]:
+        """Yield ``count`` trace records."""
+        for gap, op_code, address in self.packed_rows(count):
+            yield TraceRecord(
+                gap,
+                OpType.WRITE if op_code == OP_WRITE else OpType.READ,
+                address,
+            )
+
+    def packed(self, count: int) -> PackedTrace:
+        """Materialise ``count`` accesses straight into packed columns."""
+        trace = PackedTrace()
+        append = trace.append
+        for gap, op_code, address in self.packed_rows(count):
+            append(gap, op_code, address)
+        return trace
+
+
+def generate_packed_trace(
+    profile: BenchmarkProfile, count: int, line_bytes: int = LINE_BYTES
+) -> PackedTrace:
+    """A full packed trace for ``profile`` (deterministic)."""
+    return ProfileTraceGenerator(profile, line_bytes).packed(count)
 
 
 def generate_trace(
     profile: BenchmarkProfile, count: int, line_bytes: int = LINE_BYTES
-) -> List[TraceRecord]:
-    """Materialise a full trace for ``profile`` (deterministic)."""
-    return list(ProfileTraceGenerator(profile, line_bytes).records(count))
+) -> RecordView:
+    """Materialise a full trace for ``profile`` (deterministic).
+
+    The trace is generated directly into a :class:`PackedTrace`; the
+    returned :class:`RecordView` behaves like the historical
+    ``List[TraceRecord]`` (iteration, indexing, slicing, equality) while
+    letting packed-aware consumers unwrap the columns.
+    """
+    return RecordView(generate_packed_trace(profile, count, line_bytes))
